@@ -1,0 +1,99 @@
+// Copyright 2026 The siot-trust Authors.
+// Ablation — the aggregation inside r(·) (Eq. 29).
+//
+// The paper aggregates the chain's environment indicators with min
+// (Cannikin / Wooden-Bucket law: the worst environment dominates). This
+// ablation replays the Fig. 15 tracking task with min, mean, and product
+// aggregation over a two-indicator chain where only ONE side is hostile,
+// and reports the steady-state bias of the de-biased intrinsic estimate.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "trust/environment.h"
+
+namespace siot {
+namespace {
+
+/// Steady-state intrinsic estimate under one aggregation rule when the
+/// true bottleneck is min(E_X, E_Y) (a single hostile stave).
+double SteadyStateEstimate(trust::EnvironmentAggregation aggregation,
+                           double e_trustor, double e_trustee,
+                           double intrinsic, std::uint64_t seed) {
+  Rng rng(seed);
+  const double true_env = std::min(e_trustor, e_trustee);
+  const double assumed_env =
+      trust::AggregateEnvironment({e_trustor, e_trustee}, aggregation);
+  trust::OutcomeEstimates estimates{1.0, 0.0, 0.0, 0.0};
+  const trust::ForgettingFactors beta =
+      trust::ForgettingFactors::Uniform(0.98);
+  for (int i = 0; i < 20000; ++i) {
+    const bool success = rng.Bernoulli(intrinsic * true_env);
+    estimates = trust::UpdateEstimatesWithEnvironment(
+        estimates, {success, 0.0, 0.0, 0.0}, beta, assumed_env);
+  }
+  return estimates.success_rate;
+}
+
+void PrintReproduction() {
+  bench::PrintBanner("Ablation: r(·) aggregation",
+                     "min (Cannikin law, Eq. 29) vs mean vs product — "
+                     "intrinsic-estimate bias when one chain stave is "
+                     "hostile (S = 0.8, E = {0.8, 0.5})");
+
+  TextTable table;
+  table.SetHeader({"Aggregation", "assumed env", "estimate", "bias"});
+  const double intrinsic = 0.8;
+  struct Variant {
+    const char* name;
+    trust::EnvironmentAggregation aggregation;
+  };
+  for (const Variant& variant :
+       {Variant{"min (paper)", trust::EnvironmentAggregation::kMin},
+        Variant{"mean", trust::EnvironmentAggregation::kMean},
+        Variant{"product", trust::EnvironmentAggregation::kProduct}}) {
+    const double assumed = trust::AggregateEnvironment(
+        {0.8, 0.5}, variant.aggregation);
+    const double estimate = SteadyStateEstimate(
+        variant.aggregation, 0.8, 0.5, intrinsic, 2026);
+    table.AddRow({variant.name, FormatDouble(assumed, 3),
+                  FormatDouble(estimate, 3),
+                  FormatDouble(estimate - intrinsic, 3)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nReading: with a single hostile stave the observed success rate is\n"
+      "S·min(E); only dividing by min(E) recovers the intrinsic S = 0.8.\n"
+      "The mean over-estimates the environment (under-credits the trustee)\n"
+      "and the product over-corrects (inflates the estimate) — the\n"
+      "Cannikin-law choice in Eq. 29 is the unbiased one.\n");
+}
+
+void BM_AggregateEnvironment(benchmark::State& state) {
+  const std::vector<double> indicators = {1.0, 0.4, 0.7, 0.9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trust::AggregateEnvironment(
+        indicators, trust::EnvironmentAggregation::kMin));
+  }
+}
+BENCHMARK(BM_AggregateEnvironment);
+
+void BM_EnvironmentAwareUpdate(benchmark::State& state) {
+  trust::OutcomeEstimates estimates{0.8, 0.5, 0.2, 0.1};
+  const trust::ForgettingFactors beta =
+      trust::ForgettingFactors::Uniform(0.9);
+  for (auto _ : state) {
+    estimates = trust::UpdateEstimatesWithEnvironment(
+        estimates, {true, 0.6, 0.0, 0.1}, beta, 0.4);
+    benchmark::DoNotOptimize(estimates);
+  }
+}
+BENCHMARK(BM_EnvironmentAwareUpdate);
+
+}  // namespace
+}  // namespace siot
+
+SIOT_BENCH_MAIN(siot::PrintReproduction)

@@ -1,0 +1,79 @@
+// Copyright 2026 The siot-trust Authors.
+// Fig. 15 — expected success rates tracked through environment changes
+// (E = 1.0 → 0.4 → 0.7 per 100 iterations), comparing the no-environment
+// baseline, the traditional update, and the proposed r(·)-de-biased update
+// (Eq. 29). Averaged over 100 independent runs.
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "sim/environment_experiment.h"
+
+namespace siot {
+namespace {
+
+void PrintReproduction() {
+  bench::PrintBanner("Figure 15",
+                     "Success-rate tracking under a changing environment "
+                     "(S = 0.8; E: 1.0 / 0.4 / 0.7 × 100 iterations)");
+
+  sim::EnvironmentTrackingConfig config;
+  config.seed = 2026;
+  const sim::EnvironmentTrackingResult result =
+      sim::RunEnvironmentTrackingExperiment(config);
+
+  std::fputs(
+      RenderAsciiChart(
+          result.iteration,
+          {{"Without environment influence", result.no_environment},
+           {"Affected by environment - Traditional method",
+            result.traditional},
+           {"Affected by environment - Proposed method", result.proposed}})
+          .c_str(),
+      stdout);
+
+  TextTable table;
+  table.SetHeader({"Iteration", "expected S·E", "no-env", "traditional",
+                   "proposed"});
+  for (const std::size_t t :
+       {5ul, 50ul, 99ul, 105ul, 120ul, 199ul, 205ul, 220ul, 299ul}) {
+    table.AddRow({FormatDouble(static_cast<double>(t), 0),
+                  FormatDouble(result.expected[t], 3),
+                  FormatDouble(result.no_environment[t], 3),
+                  FormatDouble(result.traditional[t], 3),
+                  FormatDouble(result.proposed[t], 3)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nPaper's reading (§5.7): without environment influence the rates\n"
+      "converge to 0.8; when the environment changes, the observed rates\n"
+      "move to 0.8×0.4 = 0.32 and 0.8×0.7 = 0.56. The traditional method\n"
+      "reaches them only after error and delay, while the proposed r(·)\n"
+      "update tracks the environment changes immediately (its intrinsic\n"
+      "estimate never absorbed the environment in the first place).\n");
+}
+
+void BM_EnvironmentTracking(benchmark::State& state) {
+  sim::EnvironmentTrackingConfig config;
+  config.runs = static_cast<std::size_t>(state.range(0));
+  config.seed = 2026;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::RunEnvironmentTrackingExperiment(config));
+  }
+}
+BENCHMARK(BM_EnvironmentTracking)->Arg(10)->Arg(100);
+
+void BM_RemoveEnvironmentInfluence(benchmark::State& state) {
+  double x = 0.0;
+  for (auto _ : state) {
+    x += trust::RemoveEnvironmentInfluence(0.32, 0.4);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_RemoveEnvironmentInfluence);
+
+}  // namespace
+}  // namespace siot
+
+SIOT_BENCH_MAIN(siot::PrintReproduction)

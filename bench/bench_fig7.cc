@@ -1,0 +1,71 @@
+// Copyright 2026 The siot-trust Authors.
+// Fig. 7 — mutuality: success / unavailable / abuse rates of task
+// delegations under reverse-evaluation thresholds θ ∈ {0, 0.3, 0.6} on the
+// three social networks. θ = 0 is the unilateral-evaluation baseline.
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "graph/datasets.h"
+#include "sim/mutuality_experiment.h"
+#include "trust/mutual.h"
+
+namespace siot {
+namespace {
+
+void PrintReproduction() {
+  bench::PrintBanner("Figure 7",
+                     "Success / unavailable / abuse rates vs reverse-"
+                     "evaluation threshold θ_y(τ)");
+
+  TextTable table;
+  table.SetHeader({"Network", "θ", "success", "unavailable", "abuse"});
+  for (const graph::SocialNetwork network : graph::kAllNetworks) {
+    const graph::SocialDataset dataset = graph::LoadDataset(network);
+    sim::MutualityConfig config;
+    config.seed = 2026;
+    const sim::MutualityResult result =
+        sim::RunMutualityExperiment(dataset, config);
+    for (const sim::MutualityPoint& point : result.points) {
+      table.AddRow({std::string(graph::SocialNetworkName(network)),
+                    FormatDouble(point.theta, 1),
+                    FormatDouble(point.tally.success_rate(), 3),
+                    FormatDouble(point.tally.unavailable_rate(), 3),
+                    FormatDouble(point.tally.abuse_rate(), 3)});
+    }
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nPaper's reading (§5.3): at θ=0 the abuse rates exceed 0.4 in all\n"
+      "three networks; raising θ increases unavailable rates and drives\n"
+      "abuse down, with differences across networks following their\n"
+      "structure (average degree 29.04 / 23.34 / 20.31).\n");
+}
+
+void BM_MutualityExperiment(benchmark::State& state) {
+  const auto network = static_cast<graph::SocialNetwork>(state.range(0));
+  const graph::SocialDataset dataset = graph::LoadDataset(network);
+  sim::MutualityConfig config;
+  config.seed = 2026;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::RunMutualityExperiment(dataset, config));
+  }
+}
+BENCHMARK(BM_MutualityExperiment)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ReverseEvaluation(benchmark::State& state) {
+  trust::ReverseEvaluator evaluator;
+  evaluator.SetDefaultThreshold(0.3);
+  for (int i = 0; i < 100; ++i) {
+    evaluator.RecordUsage(1, 2, i % 3 == 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.AcceptsDelegation(1, 2, 0));
+  }
+}
+BENCHMARK(BM_ReverseEvaluation);
+
+}  // namespace
+}  // namespace siot
+
+SIOT_BENCH_MAIN(siot::PrintReproduction)

@@ -1,0 +1,113 @@
+// Copyright 2026 The siot-trust Authors.
+// Table 2 — success rates, unavailable rates, and average numbers of
+// potential trustees when real-world node properties serve as task
+// characteristics (community-correlated feature endowments in our
+// substitute datasets), next to the paper's reported percentages.
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "graph/datasets.h"
+#include "sim/transitivity_experiment.h"
+
+namespace siot {
+namespace {
+
+struct PaperTable2Row {
+  double success[3];      // Facebook, Google+, Twitter
+  double unavailable[3];
+  double trustees[3];
+};
+
+// The paper's Table 2, per method (Trad. / Cons. / Aggr.).
+constexpr PaperTable2Row kPaperRows[3] = {
+    {{0.2763, 0.2839, 0.2286}, {0.6645, 0.6000, 0.7333}, {4.19, 2.37, 2.88}},
+    {{0.5789, 0.5355, 0.4857}, {0.3750, 0.3290, 0.4571}, {10.63, 5.92, 5.99}},
+    {{0.6711, 0.5935, 0.5238}, {0.2697, 0.2645, 0.3524}, {11.60, 6.53, 6.35}},
+};
+
+void PrintReproduction() {
+  bench::PrintBanner("Table 2",
+                     "Rates and potential-trustee counts with real-world "
+                     "node properties as task characteristics");
+
+  std::vector<sim::TransitivityResult> results;
+  for (const graph::SocialNetwork network : graph::kAllNetworks) {
+    graph::DatasetOptions options;
+    options.feature_count = 5;
+    const graph::SocialDataset dataset =
+        graph::LoadDataset(network, options);
+    sim::TransitivityConfig config;
+    config.use_features = true;
+    config.world.characteristic_count = options.feature_count;
+    config.requests_per_trustor = 3;
+    config.seed = 2026;
+    results.push_back(sim::RunTransitivityExperiment(dataset, config));
+  }
+
+  TextTable table;
+  table.SetHeader({"Method", "Metric", "Facebook", "(paper)", "Google+",
+                   "(paper)", "Twitter", "(paper)"});
+  const char* method_names[3] = {"Trad.", "Cons.", "Aggr."};
+  const trust::TransitivityMethod methods[3] = {
+      trust::TransitivityMethod::kTraditional,
+      trust::TransitivityMethod::kConservative,
+      trust::TransitivityMethod::kAggressive,
+  };
+  for (int m = 0; m < 3; ++m) {
+    auto row_for = [&](const char* metric, auto measured, auto paper,
+                       bool percent) {
+      std::vector<std::string> cells = {method_names[m], metric};
+      for (int n = 0; n < 3; ++n) {
+        const auto& method_result = results[n].ForMethod(methods[m]);
+        if (percent) {
+          cells.push_back(FormatPercent(measured(method_result)));
+          cells.push_back(FormatPercent(paper(n)));
+        } else {
+          cells.push_back(FormatDouble(measured(method_result), 2));
+          cells.push_back(FormatDouble(paper(n), 2));
+        }
+      }
+      table.AddRow(cells);
+    };
+    row_for("Success rate",
+            [](const sim::TransitivityMethodResult& r) {
+              return r.tally.success_rate();
+            },
+            [&](int n) { return kPaperRows[m].success[n]; }, true);
+    row_for("Unavailable rate",
+            [](const sim::TransitivityMethodResult& r) {
+              return r.tally.unavailable_rate();
+            },
+            [&](int n) { return kPaperRows[m].unavailable[n]; }, true);
+    row_for("Num. potential trustees",
+            [](const sim::TransitivityMethodResult& r) {
+              return r.avg_potential_trustees;
+            },
+            [&](int n) { return kPaperRows[m].trustees[n]; }, false);
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nPaper's reading (§5.5): with real node properties the proposed\n"
+      "methods dominate — e.g. Facebook success rises from 27.63%% to\n"
+      "57.89%% (conservative) and 67.11%% (aggressive), while the\n"
+      "unavailable rate falls from 66.45%% to 37.50%% / 26.97%%.\n");
+}
+
+void BM_FeatureWorldBuild(benchmark::State& state) {
+  const graph::SocialDataset dataset =
+      graph::LoadDataset(graph::SocialNetwork::kFacebook);
+  sim::WorldConfig config;
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(sim::SiotWorld::BuildFromFeatures(
+        dataset.graph, dataset.features, dataset.feature_count, config,
+        rng));
+  }
+}
+BENCHMARK(BM_FeatureWorldBuild);
+
+}  // namespace
+}  // namespace siot
+
+SIOT_BENCH_MAIN(siot::PrintReproduction)

@@ -1,0 +1,46 @@
+// Copyright 2026 The siot-trust Authors.
+// Shared scaffolding for the reproduction benches. Every bench binary
+// reproduces one table or figure of the paper: it first prints the
+// regenerated rows/series (next to the paper's reported values where the
+// paper gives exact numbers), then runs google-benchmark timings of the
+// kernels involved.
+
+#ifndef SIOT_BENCH_BENCH_UTIL_H_
+#define SIOT_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace siot::bench {
+
+/// Prints the bench banner: which paper artefact this binary regenerates.
+inline void PrintBanner(const char* artefact, const char* description) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", artefact, description);
+  std::printf("Lin & Dong, \"Clarifying Trust in Social Internet of Things\" "
+              "(TKDE / ICDE'18)\n");
+  std::printf("==============================================================="
+              "=================\n\n");
+}
+
+/// Standard main body: print the reproduction, then run the registered
+/// google-benchmark timings.
+#define SIOT_BENCH_MAIN(print_reproduction)                       \
+  int main(int argc, char** argv) {                               \
+    print_reproduction();                                         \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                   \
+    }                                                             \
+    std::printf("\n-- kernel timings (google-benchmark) --\n");   \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }
+
+}  // namespace siot::bench
+
+#endif  // SIOT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The siot-trust Authors.
+// Minimal leveled logger. Simulations are single-threaded per experiment;
+// the logger is nevertheless safe to call from multiple threads (the write
+// of one line is a single fprintf).
+
+#ifndef SIOT_COMMON_LOGGING_H_
+#define SIOT_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace siot {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global minimum level; messages below it are dropped. Default: kWarning,
+/// so library code is silent in tests and benches unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line ("[LEVEL] message\n") to stderr if enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+/// printf-style logging helpers.
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define SIOT_LOG_DEBUG(...) ::siot::Logf(::siot::LogLevel::kDebug, __VA_ARGS__)
+#define SIOT_LOG_INFO(...) ::siot::Logf(::siot::LogLevel::kInfo, __VA_ARGS__)
+#define SIOT_LOG_WARN(...) \
+  ::siot::Logf(::siot::LogLevel::kWarning, __VA_ARGS__)
+#define SIOT_LOG_ERROR(...) ::siot::Logf(::siot::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace siot
+
+#endif  // SIOT_COMMON_LOGGING_H_

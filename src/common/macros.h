@@ -1,0 +1,59 @@
+// Copyright 2026 The siot-trust Authors.
+// Core assertion and utility macros shared across all siot libraries.
+//
+// Error-handling policy (RocksDB/Arrow idiom): library code never throws on
+// fallible operations; it returns siot::Status / siot::StatusOr<T>.
+// Programming errors (violated preconditions, broken invariants) trip
+// SIOT_CHECK, which is active in every build type — a trust engine that
+// silently computes on corrupt state is worse than one that aborts.
+
+#ifndef SIOT_COMMON_MACROS_H_
+#define SIOT_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `condition` is false. Active in all builds.
+#define SIOT_CHECK(condition)                                               \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "SIOT_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// SIOT_CHECK with a printf-style explanation appended.
+#define SIOT_CHECK_MSG(condition, ...)                                      \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "SIOT_CHECK failed at %s:%d: %s — ", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Propagates a non-ok Status from the current function.
+#define SIOT_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::siot::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define SIOT_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto SIOT_CONCAT_(_status_or_, __LINE__) = (expr);           \
+  if (!SIOT_CONCAT_(_status_or_, __LINE__).ok())               \
+    return SIOT_CONCAT_(_status_or_, __LINE__).status();       \
+  lhs = std::move(SIOT_CONCAT_(_status_or_, __LINE__)).value()
+
+#define SIOT_CONCAT_IMPL_(a, b) a##b
+#define SIOT_CONCAT_(a, b) SIOT_CONCAT_IMPL_(a, b)
+
+#define SIOT_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;           \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // SIOT_COMMON_MACROS_H_

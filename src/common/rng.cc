@@ -1,0 +1,69 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace siot {
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller: two uniforms -> two independent standard normals.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();  // avoid log(0)
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Exponential(double lambda) {
+  SIOT_CHECK(lambda > 0.0);
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / lambda;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  SIOT_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SIOT_CHECK_MSG(w >= 0.0, "negative categorical weight %f", w);
+    total += w;
+  }
+  SIOT_CHECK_MSG(total > 0.0, "categorical weights sum to zero");
+  double x = Uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  // Floating-point underflow at the boundary: return last non-zero weight.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  SIOT_CHECK(k <= n);
+  // Partial Fisher–Yates over an index vector: O(n) memory, O(n + k) time.
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(NextBounded(n - i));
+    using std::swap;
+    swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace siot

@@ -1,0 +1,146 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace siot {
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi) {
+  SIOT_CHECK(hi > lo);
+  SIOT_CHECK(buckets > 0);
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  SIOT_CHECK(i < counts_.size());
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::Quantile(double q) const {
+  SIOT_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * bucket_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        counts_[i] * width / max_count;
+    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) %8zu |",
+                  bucket_lo(i), bucket_lo(i) + bucket_width_, counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ != 0 || overflow_ != 0) {
+    std::snprintf(line, sizeof(line), "underflow=%zu overflow=%zu\n",
+                  underflow_, overflow_);
+    out += line;
+  }
+  return out;
+}
+
+void SeriesAverager::AddRun(const std::vector<double>& series) {
+  if (runs_ == 0) {
+    sums_.assign(series.size(), 0.0);
+    sq_sums_.assign(series.size(), 0.0);
+  }
+  SIOT_CHECK_MSG(series.size() == sums_.size(),
+                 "series length %zu != expected %zu", series.size(),
+                 sums_.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    sums_[i] += series[i];
+    sq_sums_[i] += series[i] * series[i];
+  }
+  ++runs_;
+}
+
+std::vector<double> SeriesAverager::Mean() const {
+  std::vector<double> out(sums_.size(), 0.0);
+  if (runs_ == 0) return out;
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    out[i] = sums_[i] / static_cast<double>(runs_);
+  }
+  return out;
+}
+
+std::vector<double> SeriesAverager::Stddev() const {
+  std::vector<double> out(sums_.size(), 0.0);
+  if (runs_ < 2) return out;
+  const double n = static_cast<double>(runs_);
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    const double mean = sums_[i] / n;
+    const double var =
+        std::max(0.0, (sq_sums_[i] - n * mean * mean) / (n - 1.0));
+    out[i] = std::sqrt(var);
+  }
+  return out;
+}
+
+ExponentialAverage::ExponentialAverage(double beta, double initial)
+    : beta_(beta), value_(initial) {
+  SIOT_CHECK_MSG(beta >= 0.0 && beta <= 1.0, "beta=%f outside [0,1]", beta);
+}
+
+double ExponentialAverage::Update(double sample) {
+  value_ = beta_ * value_ + (1.0 - beta_) * sample;
+  ++updates_;
+  return value_;
+}
+
+}  // namespace siot

@@ -1,0 +1,164 @@
+// Copyright 2026 The siot-trust Authors.
+// Status and StatusOr<T>: exception-free error propagation in the style of
+// RocksDB / Apache Arrow. A Status is cheap to copy in the OK case (no
+// allocation) and carries a code + message otherwise.
+
+#ifndef SIOT_COMMON_STATUS_H_
+#define SIOT_COMMON_STATUS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace siot {
+
+/// Broad machine-inspectable error categories.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnavailable = 6,
+  kIoError = 7,
+  kCorruption = 8,
+  kNotSupported = 9,
+  kInternal = 10,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: OK, or an error code with a message.
+///
+/// The OK state stores no heap data, so returning Status::OK() is free.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps copies cheap; Status is immutable after construction.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  /// Error state. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SIOT_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  /// Value state.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    SIOT_CHECK_MSG(ok(), "value() on error StatusOr: %s",
+                   status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    SIOT_CHECK_MSG(ok(), "value() on error StatusOr: %s",
+                   status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    SIOT_CHECK_MSG(ok(), "value() on error StatusOr: %s",
+                   status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace siot
+
+#endif  // SIOT_COMMON_STATUS_H_

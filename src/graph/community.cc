@@ -1,0 +1,224 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "graph/community.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace siot::graph {
+
+namespace {
+
+/// Weighted multigraph used for Louvain aggregation levels. Nodes are dense
+/// ids; self-loop weight stores (twice) the internal weight of an
+/// aggregated community.
+struct WeightedGraph {
+  // adjacency[v] = list of (neighbor, weight); self loops allowed.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency;
+  double total_weight = 0.0;  // sum of edge weights, self-loops once
+
+  std::size_t size() const { return adjacency.size(); }
+
+  double WeightedDegree(std::uint32_t v) const {
+    double d = 0.0;
+    for (const auto& [u, w] : adjacency[v]) {
+      d += w;
+      if (u == v) d += w;  // self loop counts twice in degree
+    }
+    return d;
+  }
+};
+
+WeightedGraph FromGraph(const Graph& graph) {
+  WeightedGraph wg;
+  wg.adjacency.resize(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    for (NodeId u : graph.Neighbors(v)) {
+      wg.adjacency[v].push_back({u, 1.0});
+    }
+  }
+  wg.total_weight = static_cast<double>(graph.edge_count());
+  return wg;
+}
+
+/// One Louvain local-move phase. Returns the node->community map and whether
+/// any move improved modularity.
+bool LocalMove(const WeightedGraph& wg, const LouvainParams& params,
+               Rng& rng, std::vector<std::uint32_t>* community) {
+  const std::size_t n = wg.size();
+  community->resize(n);
+  std::iota(community->begin(), community->end(), 0);
+
+  std::vector<double> node_degree(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    node_degree[v] = wg.WeightedDegree(v);
+  }
+  // Total degree per community.
+  std::vector<double> community_degree = node_degree;
+  const double two_m = 2.0 * wg.total_weight;
+  if (two_m <= 0.0) return false;
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  bool any_improvement = false;
+  for (std::size_t sweep = 0; sweep < params.max_sweeps_per_level; ++sweep) {
+    double sweep_gain = 0.0;
+    for (std::uint32_t v : order) {
+      const std::uint32_t old_c = (*community)[v];
+      // Weight from v to each adjacent community (self-loops excluded:
+      // they move with v and do not affect the gain comparison).
+      std::unordered_map<std::uint32_t, double> links;
+      for (const auto& [u, w] : wg.adjacency[v]) {
+        if (u == v) continue;
+        links[(*community)[u]] += w;
+      }
+      // Detach v.
+      community_degree[old_c] -= node_degree[v];
+      const double base_links = links.contains(old_c) ? links[old_c] : 0.0;
+      // Gain of joining community c: k_{v,c}/m - deg_c * k_v / (2 m^2)
+      // (constant terms cancel when comparing).
+      std::uint32_t best_c = old_c;
+      double best_gain = base_links - community_degree[old_c] *
+                                          node_degree[v] / two_m;
+      for (const auto& [c, k_vc] : links) {
+        if (c == old_c) continue;
+        const double gain =
+            k_vc - community_degree[c] * node_degree[v] / two_m;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      (*community)[v] = best_c;
+      community_degree[best_c] += node_degree[v];
+      if (best_c != old_c) {
+        const double old_gain =
+            base_links - community_degree[old_c] * node_degree[v] / two_m;
+        sweep_gain += best_gain - old_gain;
+        any_improvement = true;
+      }
+    }
+    if (sweep_gain < params.min_gain) break;
+  }
+  return any_improvement;
+}
+
+/// Aggregates communities into a smaller weighted graph.
+WeightedGraph Aggregate(const WeightedGraph& wg,
+                        const std::vector<std::uint32_t>& community,
+                        std::size_t community_count) {
+  WeightedGraph out;
+  out.adjacency.resize(community_count);
+  out.total_weight = wg.total_weight;
+  std::vector<std::unordered_map<std::uint32_t, double>> accum(
+      community_count);
+  for (std::uint32_t v = 0; v < wg.size(); ++v) {
+    const std::uint32_t cv = community[v];
+    for (const auto& [u, w] : wg.adjacency[v]) {
+      const std::uint32_t cu = community[u];
+      if (u == v) {
+        accum[cv][cv] += w;  // self loop carried over
+      } else if (cv == cu) {
+        // Each undirected intra edge appears twice (v->u and u->v); fold
+        // both appearances into one self-loop of weight w.
+        accum[cv][cv] += w / 2.0;
+      } else {
+        accum[cv][cu] += w;  // appears once from each side, as desired
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c < community_count; ++c) {
+    out.adjacency[c].assign(accum[c].begin(), accum[c].end());
+    std::sort(out.adjacency[c].begin(), out.adjacency[c].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+double Modularity(const Graph& graph,
+                  const std::vector<std::uint32_t>& community) {
+  SIOT_CHECK(community.size() == graph.node_count());
+  const double m = static_cast<double>(graph.edge_count());
+  if (m == 0.0) return 0.0;
+  std::size_t community_count = 0;
+  for (std::uint32_t c : community) {
+    community_count = std::max<std::size_t>(community_count, c + 1);
+  }
+  std::vector<double> intra(community_count, 0.0);
+  std::vector<double> degree(community_count, 0.0);
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    degree[community[v]] += static_cast<double>(graph.Degree(v));
+    for (NodeId u : graph.Neighbors(v)) {
+      if (v < u && community[v] == community[u]) {
+        intra[community[v]] += 1.0;
+      }
+    }
+  }
+  double q = 0.0;
+  for (std::size_t c = 0; c < community_count; ++c) {
+    const double dc = degree[c] / (2.0 * m);
+    q += intra[c] / m - dc * dc;
+  }
+  return q;
+}
+
+std::size_t CountCommunities(const std::vector<std::uint32_t>& community) {
+  std::vector<std::uint32_t> ids(community);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+std::vector<std::uint32_t> CompactCommunityIds(
+    const std::vector<std::uint32_t>& community) {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  std::vector<std::uint32_t> out(community.size());
+  for (std::size_t i = 0; i < community.size(); ++i) {
+    auto [it, inserted] = remap.emplace(
+        community[i], static_cast<std::uint32_t>(remap.size()));
+    out[i] = it->second;
+  }
+  return out;
+}
+
+CommunityResult Louvain(const Graph& graph, const LouvainParams& params) {
+  CommunityResult result;
+  result.community.resize(graph.node_count());
+  std::iota(result.community.begin(), result.community.end(), 0);
+  if (graph.node_count() == 0 || graph.edge_count() == 0) {
+    result.community_count = graph.node_count();
+    result.modularity = 0.0;
+    return result;
+  }
+
+  Rng rng(params.seed);
+  WeightedGraph wg = FromGraph(graph);
+  // node_to_top[v]: community of original node v in the current hierarchy.
+  std::vector<std::uint32_t> node_to_top(graph.node_count());
+  std::iota(node_to_top.begin(), node_to_top.end(), 0);
+
+  for (std::size_t level = 0; level < params.max_levels; ++level) {
+    std::vector<std::uint32_t> local;
+    const bool improved = LocalMove(wg, params, rng, &local);
+    local = CompactCommunityIds(local);
+    const std::size_t count =
+        local.empty() ? 0 : 1 + *std::max_element(local.begin(), local.end());
+    // Project the level assignment down to original nodes.
+    for (std::uint32_t& top : node_to_top) top = local[top];
+    if (!improved || count == wg.size()) break;
+    wg = Aggregate(wg, local, count);
+  }
+
+  result.community = CompactCommunityIds(node_to_top);
+  result.community_count = CountCommunities(result.community);
+  result.modularity = Modularity(graph, result.community);
+  return result;
+}
+
+}  // namespace siot::graph

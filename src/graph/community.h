@@ -1,0 +1,57 @@
+// Copyright 2026 The siot-trust Authors.
+// Community detection and modularity, as used for the paper's Table 1
+// (Newman modularity; Blondel et al. "Louvain" fast unfolding — the same
+// method the paper cites [34], [35]).
+
+#ifndef SIOT_GRAPH_COMMUNITY_H_
+#define SIOT_GRAPH_COMMUNITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace siot::graph {
+
+/// Newman modularity Q of a partition (community id per node):
+///   Q = sum_c [ m_c / m  -  (d_c / 2m)^2 ]
+/// where m_c is the number of intra-community edges of community c and d_c
+/// the total degree of its nodes.
+double Modularity(const Graph& graph,
+                  const std::vector<std::uint32_t>& community);
+
+/// Result of community detection.
+struct CommunityResult {
+  /// Dense community id per node.
+  std::vector<std::uint32_t> community;
+  std::size_t community_count = 0;
+  double modularity = 0.0;
+};
+
+/// Options for Louvain.
+struct LouvainParams {
+  /// Maximum local-move + aggregate passes.
+  std::size_t max_levels = 32;
+  /// Maximum sweeps over all nodes per local-move phase.
+  std::size_t max_sweeps_per_level = 64;
+  /// Minimum modularity gain to keep iterating a local-move phase.
+  double min_gain = 1e-7;
+  /// Node visiting order is shuffled with this seed (Louvain output is
+  /// order-dependent; a fixed seed keeps results reproducible).
+  std::uint64_t seed = 42;
+};
+
+/// Louvain fast-unfolding modularity optimization.
+CommunityResult Louvain(const Graph& graph, const LouvainParams& params = {});
+
+/// Number of distinct community ids (helper).
+std::size_t CountCommunities(const std::vector<std::uint32_t>& community);
+
+/// Renumbers community ids to dense [0, count).
+std::vector<std::uint32_t> CompactCommunityIds(
+    const std::vector<std::uint32_t>& community);
+
+}  // namespace siot::graph
+
+#endif  // SIOT_GRAPH_COMMUNITY_H_

@@ -1,0 +1,83 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "graph/edge_list_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace siot::graph {
+
+StatusOr<Graph> ReadEdgeListString(std::string_view text) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> raw_edges;
+  std::unordered_map<std::int64_t, NodeId> remap;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    ++line_no;
+    std::string_view line = text.substr(start, i - start);
+    start = i + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    // Accept spaces or tabs between the two ids.
+    std::size_t sep = line.find_first_of(" \t");
+    if (sep == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("edge list line %zu: expected 'u v'", line_no));
+    }
+    auto u = ParseInt(line.substr(0, sep));
+    auto v = ParseInt(Trim(line.substr(sep)));
+    if (!u.ok() || !v.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("edge list line %zu: bad node id", line_no));
+    }
+    if (u.value() < 0 || v.value() < 0) {
+      return Status::InvalidArgument(
+          StrFormat("edge list line %zu: negative node id", line_no));
+    }
+    raw_edges.emplace_back(u.value(), v.value());
+    for (std::int64_t id : {u.value(), v.value()}) {
+      if (!remap.contains(id)) {
+        remap.emplace(id, static_cast<NodeId>(remap.size()));
+      }
+    }
+  }
+  GraphBuilder builder(remap.size());
+  for (const auto& [u, v] : raw_edges) {
+    builder.AddEdge(remap.at(u), remap.at(v));
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open edge list: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadEdgeListString(buffer.str());
+}
+
+std::string WriteEdgeListString(const Graph& graph) {
+  std::string out = StrFormat("# siot edge list: %zu nodes, %zu edges\n",
+                              graph.node_count(), graph.edge_count());
+  for (const auto& [u, v] : graph.Edges()) {
+    out += StrFormat("%u %u\n", u, v);
+  }
+  return out;
+}
+
+Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for write: " + path);
+  file << WriteEdgeListString(graph);
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace siot::graph

@@ -1,0 +1,33 @@
+// Copyright 2026 The siot-trust Authors.
+// Whitespace-separated edge-list serialization — the format used by the
+// SNAP ego-network datasets the paper draws its connectivity from. Lets
+// users load real datasets in place of the bundled synthetic ones.
+
+#ifndef SIOT_GRAPH_EDGE_LIST_IO_H_
+#define SIOT_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace siot::graph {
+
+/// Parses "u v" lines ('#' comments allowed). Node ids may be arbitrary
+/// non-negative integers; they are compacted to dense [0, n) preserving
+/// first-appearance order.
+StatusOr<Graph> ReadEdgeListString(std::string_view text);
+
+/// ReadEdgeListString over a file's contents.
+StatusOr<Graph> ReadEdgeListFile(const std::string& path);
+
+/// Writes "u v" lines (u < v), one per edge, with a header comment.
+Status WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+/// Serializes to the same format as WriteEdgeListFile.
+std::string WriteEdgeListString(const Graph& graph);
+
+}  // namespace siot::graph
+
+#endif  // SIOT_GRAPH_EDGE_LIST_IO_H_

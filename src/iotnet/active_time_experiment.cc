@@ -1,0 +1,170 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/active_time_experiment.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "trust/update.h"
+
+namespace siot::iotnet {
+
+namespace {
+
+/// One selection mode's pass over the whole task sequence.
+std::vector<double> RunMode(const ActiveTimeExperimentConfig& config,
+                            bool use_cost) {
+  IoTNetwork network(config.network);
+  network.FormNetwork();
+
+  const std::vector<DeviceAddr> trustors =
+      network.DevicesByRole(DeviceRole::kTrustor);
+
+  // Per (trustor, trustee) outcome estimates. Gains start at the
+  // advertised values (the attack: a slightly shinier gain), costs start
+  // unknown-low so everyone gets tried.
+  std::unordered_map<std::uint64_t, trust::OutcomeEstimates> estimates;
+  for (const DeviceAddr x : trustors) {
+    for (const DeviceAddr y :
+         network.TrusteesInGroup(network.device(x).group())) {
+      trust::OutcomeEstimates initial;
+      initial.success_rate = 0.9;
+      initial.gain = network.device(y).role() ==
+                             DeviceRole::kDishonestTrustee
+                         ? config.dishonest_gain
+                         : config.honest_gain;
+      initial.damage = 0.1;
+      initial.cost = 0.0;
+      estimates[(static_cast<std::uint64_t>(x) << 32) | y] = initial;
+    }
+  }
+  const trust::ForgettingFactors beta =
+      trust::ForgettingFactors::Uniform(config.beta);
+
+  // Response bookkeeping: when a trustor receives the full response, we
+  // close the interaction and measure the active window.
+  struct PendingInteraction {
+    SimTime started = 0;
+    bool done = false;
+    SimTime completed = 0;
+  };
+  std::unordered_map<DeviceAddr, PendingInteraction> pending;
+
+  // Trustee behavior: answer task requests with the (possibly attacked)
+  // response.
+  for (DeviceAddr a = 0; a < network.device_count(); ++a) {
+    NodeDevice& device = network.device(a);
+    if (!device.is_trustee()) continue;
+    const bool dishonest = device.role() == DeviceRole::kDishonestTrustee;
+    device.stack().OnReceive([&network, &config, a,
+                              dishonest](const AppMessage& request) {
+      if (request.type != PayloadType::kTaskRequest) return;
+      AppMessage response;
+      response.source = a;
+      response.destination = request.source;
+      response.type = PayloadType::kTaskResponse;
+      response.payload_bytes = config.response_bytes;
+      response.tag = request.tag;
+      response.value = 1.0;  // served
+      if (dishonest) {
+        // The fragment-packet attack: tiny fragments, long gaps.
+        response.force_fragment_size = config.attack_fragment_bytes;
+        response.fragment_gap = config.attack_fragment_gap;
+      }
+      network.device(a).stack().SendMessage(response);
+    });
+  }
+  // Trustor response handler: close the pending interaction.
+  for (const DeviceAddr x : trustors) {
+    network.device(x).stack().OnReceive(
+        [&network, &pending, x](const AppMessage& response) {
+          if (response.type != PayloadType::kTaskResponse) return;
+          auto& interaction = pending[x];
+          interaction.done = true;
+          interaction.completed = network.events().now();
+        });
+  }
+
+  std::vector<double> mean_active_ms(config.tasks_per_trustor, 0.0);
+  for (std::size_t task = 0; task < config.tasks_per_trustor; ++task) {
+    double task_active_ms_sum = 0.0;
+    for (const DeviceAddr x : trustors) {
+      const auto group_trustees =
+          network.TrusteesInGroup(network.device(x).group());
+      // Select by estimated gain only, or by full Eq. 23 net profit.
+      std::vector<trust::OutcomeEstimates> scored;
+      scored.reserve(group_trustees.size());
+      for (const DeviceAddr y : group_trustees) {
+        trust::OutcomeEstimates e =
+            estimates[(static_cast<std::uint64_t>(x) << 32) | y];
+        if (!use_cost) {
+          // Gain-only selection: blind the economics except the gain.
+          e.success_rate = 1.0;
+          e.damage = 0.0;
+          e.cost = 0.0;
+        }
+        scored.push_back(e);
+      }
+      const auto best = trust::SelectBestCandidate(
+          scored, trust::SelectionStrategy::kMaxNetProfit);
+      SIOT_CHECK(best.ok());
+      const DeviceAddr y = group_trustees[best.value()];
+
+      // Run the interaction to completion on the event queue.
+      pending[x] = PendingInteraction{network.events().now(), false, 0};
+      AppMessage request;
+      request.source = x;
+      request.destination = y;
+      request.type = PayloadType::kTaskRequest;
+      request.payload_bytes = 24;
+      request.tag = static_cast<std::int64_t>(task);
+      network.device(x).stack().SendMessage(request);
+      network.events().RunAll();
+
+      const PendingInteraction& interaction = pending[x];
+      SIOT_CHECK_MSG(interaction.done,
+                     "trustor %u: response lost for task %zu", x, task);
+      const double active_ms =
+          static_cast<double>(interaction.completed -
+                              interaction.started) /
+          static_cast<double>(kMillisecond);
+      task_active_ms_sum += active_ms;
+
+      // Post-evaluation: the realized cost is the active time.
+      trust::DelegationOutcome outcome;
+      outcome.success = true;
+      outcome.gain = network.device(y).role() ==
+                             DeviceRole::kDishonestTrustee
+                         ? config.dishonest_gain
+                         : config.honest_gain;
+      outcome.cost = active_ms / config.cost_ms_per_unit;
+      const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
+      estimates[key] =
+          trust::UpdateEstimates(estimates[key], outcome, beta);
+    }
+    mean_active_ms[task] =
+        task_active_ms_sum / static_cast<double>(trustors.size());
+  }
+  return mean_active_ms;
+}
+
+}  // namespace
+
+ActiveTimeResult RunActiveTimeExperiment(
+    const ActiveTimeExperimentConfig& config) {
+  ActiveTimeResult result;
+  result.with_model_ms = RunMode(config, /*use_cost=*/true);
+  result.without_model_ms = RunMode(config, /*use_cost=*/false);
+  auto tail_mean = [](const std::vector<double>& series) {
+    const std::size_t n = series.size();
+    const std::size_t start = n > 10 ? n - 10 : 0;
+    double sum = 0.0;
+    for (std::size_t i = start; i < n; ++i) sum += series[i];
+    return sum / static_cast<double>(n - start);
+  };
+  result.final_with_model_ms = tail_mean(result.with_model_ms);
+  result.final_without_model_ms = tail_mean(result.without_model_ms);
+  return result;
+}
+
+}  // namespace siot::iotnet

@@ -1,0 +1,58 @@
+// Copyright 2026 The siot-trust Authors.
+// §5.6 / Fig. 14 — detecting the fragment-packet cost attack. Dishonest
+// trustees answer task requests with many tiny, deliberately spaced
+// fragments, stretching the trustor's radio-active time (and battery).
+// Trustors that evaluate gain AND cost (the proposed model) learn to avoid
+// the attackers, so the average active time collapses; gain-only trustors
+// keep serving the attack.
+
+#ifndef SIOT_IOTNET_ACTIVE_TIME_EXPERIMENT_H_
+#define SIOT_IOTNET_ACTIVE_TIME_EXPERIMENT_H_
+
+#include <vector>
+
+#include "iotnet/network.h"
+
+namespace siot::iotnet {
+
+/// Configuration of the Fig. 14 experiment.
+struct ActiveTimeExperimentConfig {
+  /// Tasks each trustor requests (x-axis of Fig. 14).
+  std::size_t tasks_per_trustor = 50;
+  /// Response payload bytes (same useful content from everyone).
+  std::size_t response_bytes = 400;
+  /// Attack shape: fragment size and inter-fragment gap of dishonest
+  /// trustees.
+  std::size_t attack_fragment_bytes = 8;
+  SimTime attack_fragment_gap = 12 * kMillisecond;
+  /// Gain the trustor books for a served task; attackers advertise a
+  /// slightly higher gain (they promote a single aspect's value).
+  double honest_gain = 0.80;
+  double dishonest_gain = 0.88;
+  /// Weight of the OLD estimate per Eq. 19 (see EXPERIMENTS.md on the
+  /// paper's β convention).
+  double beta = 0.9;
+  /// Cost normalization: active milliseconds per unit cost.
+  double cost_ms_per_unit = 1000.0;
+  NetworkConfig network;
+};
+
+/// Per-task-index averages over trustors.
+struct ActiveTimeResult {
+  /// Mean radio-active time per task (ms), indexed by task number, for
+  /// trustors using gain+cost (proposed) vs gain-only selection.
+  std::vector<double> with_model_ms;
+  std::vector<double> without_model_ms;
+  /// Mean over the final 10 tasks.
+  double final_with_model_ms = 0.0;
+  double final_without_model_ms = 0.0;
+};
+
+/// Runs the Fig. 14 experiment (both selection modes on identical
+/// networks/seeds).
+ActiveTimeResult RunActiveTimeExperiment(
+    const ActiveTimeExperimentConfig& config);
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_ACTIVE_TIME_EXPERIMENT_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/coordinator.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace siot::iotnet {
+
+CoordinatorService::CoordinatorService(IoTNetwork* network)
+    : network_(network) {
+  SIOT_CHECK(network != nullptr);
+  network_->coordinator().stack().OnReceive(
+      [this](const AppMessage& message) {
+        if (message.type != PayloadType::kReport) return;
+        reports_.push_back(Report{message.source, message.tag,
+                                  message.value,
+                                  network_->events().now()});
+      });
+}
+
+std::vector<Report> CoordinatorService::ReportsWithTag(
+    std::int64_t tag) const {
+  std::vector<Report> out;
+  for (const Report& report : reports_) {
+    if (report.tag == tag) out.push_back(report);
+  }
+  return out;
+}
+
+std::string CoordinatorService::ExportCsv() const {
+  std::string out = "source,tag,value,received_at_us\n";
+  for (const Report& report : reports_) {
+    out += StrFormat("%u,%lld,%.6f,%llu\n", report.source,
+                     static_cast<long long>(report.tag), report.value,
+                     static_cast<unsigned long long>(report.received_at));
+  }
+  return out;
+}
+
+}  // namespace siot::iotnet

@@ -1,0 +1,49 @@
+// Copyright 2026 The siot-trust Authors.
+// Coordinator data collection (§5.2): "At the end of each experiment, the
+// coordinator collects the data and sends them back to the host computer
+// through a CP2102 chip for further analysis." The CoordinatorService
+// hooks the coordinator's stack, stores report messages, and exports them
+// for the analysis code (our stand-in for the CP2102 host link).
+
+#ifndef SIOT_IOTNET_COORDINATOR_H_
+#define SIOT_IOTNET_COORDINATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "iotnet/network.h"
+
+namespace siot::iotnet {
+
+/// One report message received by the coordinator.
+struct Report {
+  DeviceAddr source = 0;
+  std::int64_t tag = 0;
+  double value = 0.0;
+  SimTime received_at = 0;
+};
+
+/// Collects kReport messages arriving at the coordinator.
+class CoordinatorService {
+ public:
+  /// Installs itself as the coordinator's receive handler.
+  explicit CoordinatorService(IoTNetwork* network);
+
+  const std::vector<Report>& reports() const { return reports_; }
+  void Clear() { reports_.clear(); }
+
+  /// Reports whose tag matches.
+  std::vector<Report> ReportsWithTag(std::int64_t tag) const;
+
+  /// CSV rendering ("source,tag,value,received_at_us"), the host-computer
+  /// export path.
+  std::string ExportCsv() const;
+
+ private:
+  IoTNetwork* network_;
+  std::vector<Report> reports_;
+};
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_COORDINATOR_H_

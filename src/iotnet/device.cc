@@ -1,0 +1,49 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/device.h"
+
+#include "common/macros.h"
+
+namespace siot::iotnet {
+
+std::string_view DeviceRoleName(DeviceRole role) {
+  switch (role) {
+    case DeviceRole::kCoordinator:
+      return "coordinator";
+    case DeviceRole::kTrustor:
+      return "trustor";
+    case DeviceRole::kHonestTrustee:
+      return "honest-trustee";
+    case DeviceRole::kDishonestTrustee:
+      return "dishonest-trustee";
+  }
+  return "?";
+}
+
+NodeDevice::NodeDevice(IoTNetwork* network, DeviceAddr address,
+                       DeviceRole role, std::size_t group, MacParams mac,
+                       PowerParams power, std::uint64_t seed)
+    : stack_(network, address, mac, seed),
+      role_(role),
+      group_(group),
+      power_(power) {}
+
+OpticalSensor& NodeDevice::optical_sensor() {
+  SIOT_CHECK_MSG(sensor_.has_value(), "device %u has no optical sensor",
+                 stack_.address());
+  return *sensor_;
+}
+
+double NodeDevice::EnergyConsumedMillijoules(SimTime elapsed) const {
+  const SimTime active = stack_.active_time();
+  const SimTime sleeping = elapsed > active ? elapsed - active : 0;
+  const double active_seconds = static_cast<double>(active) * 1e-6;
+  const double sleep_seconds = static_cast<double>(sleeping) * 1e-6;
+  const double active_mj =
+      power_.supply_volts * power_.active_milliamps * active_seconds;
+  const double sleep_mj = power_.supply_volts *
+                          (power_.sleep_microamps * 1e-3) * sleep_seconds;
+  return active_mj + sleep_mj;
+}
+
+}  // namespace siot::iotnet

@@ -1,0 +1,80 @@
+// Copyright 2026 The siot-trust Authors.
+// A node device of the experimental IoT network (§5.2): CC2530-class SoC
+// with a ZigBee stack, energy accounting (active vs sleep current), and an
+// optional optical sensor attached through the 2.54 mm pin interface.
+
+#ifndef SIOT_IOTNET_DEVICE_H_
+#define SIOT_IOTNET_DEVICE_H_
+
+#include <memory>
+#include <optional>
+
+#include "iotnet/sensor.h"
+#include "iotnet/zstack.h"
+
+namespace siot::iotnet {
+
+/// Role a device plays in the experiments (§5.2: five groups of two
+/// trustors, two honest trustees and two dishonest trustees, plus the
+/// coordinator).
+enum class DeviceRole : std::uint8_t {
+  kCoordinator,
+  kTrustor,
+  kHonestTrustee,
+  kDishonestTrustee,
+};
+
+std::string_view DeviceRoleName(DeviceRole role);
+
+/// CC2530-flavoured power model.
+struct PowerParams {
+  double supply_volts = 3.3;
+  /// Active (RX/TX) current draw.
+  double active_milliamps = 29.0;
+  /// Power-mode-2 sleep current.
+  double sleep_microamps = 1.0;
+};
+
+/// One network node: stack + role + group + energy accounting.
+class NodeDevice {
+ public:
+  NodeDevice(IoTNetwork* network, DeviceAddr address, DeviceRole role,
+             std::size_t group, MacParams mac, PowerParams power,
+             std::uint64_t seed);
+
+  DeviceAddr address() const { return stack_.address(); }
+  DeviceRole role() const { return role_; }
+  std::size_t group() const { return group_; }
+  bool is_trustee() const {
+    return role_ == DeviceRole::kHonestTrustee ||
+           role_ == DeviceRole::kDishonestTrustee;
+  }
+
+  ZStack& stack() { return stack_; }
+  const ZStack& stack() const { return stack_; }
+
+  /// Attaches an optical sensor (§5.2: "optical sensors are attached to
+  /// the main boards by these 2.54 pin interfaces").
+  void AttachOpticalSensor(OpticalSensor sensor) {
+    sensor_ = std::move(sensor);
+  }
+  bool has_optical_sensor() const { return sensor_.has_value(); }
+  OpticalSensor& optical_sensor();
+
+  /// Energy consumed so far given the device has been radio-active for
+  /// stack().active_time() out of `elapsed` total simulation time (mJ).
+  double EnergyConsumedMillijoules(SimTime elapsed) const;
+
+  const PowerParams& power() const { return power_; }
+
+ private:
+  ZStack stack_;
+  DeviceRole role_;
+  std::size_t group_;
+  PowerParams power_;
+  std::optional<OpticalSensor> sensor_;
+};
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_DEVICE_H_

@@ -1,0 +1,44 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/event_queue.h"
+
+#include "common/macros.h"
+
+namespace siot::iotnet {
+
+void EventQueue::Schedule(SimTime delay, std::function<void()> action) {
+  ScheduleAt(now_ + delay, std::move(action));
+}
+
+void EventQueue::ScheduleAt(SimTime when, std::function<void()> action) {
+  SIOT_CHECK_MSG(when >= now_, "event scheduled in the past");
+  events_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::RunAll() {
+  std::size_t fired = 0;
+  while (!events_.empty()) {
+    // Move out the action before popping: the action may schedule more.
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t EventQueue::RunUntil(SimTime deadline) {
+  std::size_t fired = 0;
+  while (!events_.empty() && events_.top().when <= deadline) {
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.when;
+    event.action();
+    ++fired;
+  }
+  now_ = deadline;
+  return fired;
+}
+
+}  // namespace siot::iotnet

@@ -1,0 +1,65 @@
+// Copyright 2026 The siot-trust Authors.
+// Discrete-event scheduler for the simulated IoT network. Time is in
+// microseconds; events with equal timestamps fire in scheduling order
+// (stable), so simulations are fully deterministic.
+
+#ifndef SIOT_IOTNET_EVENT_QUEUE_H_
+#define SIOT_IOTNET_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace siot::iotnet {
+
+/// Simulation time in microseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+/// Deterministic discrete-event queue.
+class EventQueue {
+ public:
+  /// Current simulation time (the timestamp of the last fired event).
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to fire `delay` after now().
+  void Schedule(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `when` (must be >= now()).
+  void ScheduleAt(SimTime when, std::function<void()> action);
+
+  /// Fires events until the queue drains. Returns events fired.
+  std::size_t RunAll();
+
+  /// Fires events with timestamp <= deadline; time advances to `deadline`
+  /// even if the queue drains earlier. Returns events fired.
+  std::size_t RunUntil(SimTime deadline);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO for equal timestamps
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_EVENT_QUEUE_H_

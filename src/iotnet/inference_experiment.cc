@@ -1,0 +1,183 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/inference_experiment.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "iotnet/coordinator.h"
+#include "trust/inference.h"
+#include "trust/task.h"
+
+namespace siot::iotnet {
+
+namespace {
+
+/// Ground truth of one trustee: per-characteristic competence.
+struct TrusteeTruth {
+  std::vector<double> competence;  // per characteristic
+};
+
+}  // namespace
+
+InferenceExperimentResult RunInferenceExperiment(
+    const InferenceExperimentConfig& config) {
+  SIOT_CHECK(config.characteristic_count >= 2);
+  IoTNetwork network(config.network);
+  network.FormNetwork();
+  CoordinatorService coordinator(&network);
+  Rng rng(MixSeed(config.network.seed, 0xF18));
+
+  // Previous-task catalog: one single-characteristic task per
+  // characteristic (the "different previous tasks" of §5.4), plus the
+  // request tasks built per run.
+  trust::TaskCatalog catalog;
+  std::vector<trust::TaskId> previous_tasks;
+  for (std::size_t c = 0; c < config.characteristic_count; ++c) {
+    previous_tasks.push_back(
+        catalog
+            .AddUniform("previous-" + std::to_string(c),
+                        {static_cast<trust::CharacteristicId>(c)})
+            .value());
+  }
+
+  // Trustee ground truth. Each dishonest trustee behaved maliciously on
+  // one particular characteristic in its past tasks.
+  std::unordered_map<DeviceAddr, TrusteeTruth> truths;
+  for (DeviceAddr a = 0; a < network.device_count(); ++a) {
+    const NodeDevice& device = network.device(a);
+    if (!device.is_trustee()) continue;
+    TrusteeTruth truth;
+    truth.competence.resize(config.characteristic_count);
+    const bool dishonest = device.role() == DeviceRole::kDishonestTrustee;
+    const std::size_t bad_characteristic =
+        rng.NextBounded(config.characteristic_count);
+    for (std::size_t c = 0; c < config.characteristic_count; ++c) {
+      if (dishonest && c == bad_characteristic) {
+        truth.competence[c] =
+            rng.Uniform(config.malicious_low, config.malicious_high);
+      } else if (dishonest) {
+        truth.competence[c] =
+            rng.Uniform(config.dishonest_low, config.dishonest_high);
+      } else {
+        truth.competence[c] =
+            rng.Uniform(config.honest_low, config.honest_high);
+      }
+    }
+    truths.emplace(a, std::move(truth));
+  }
+
+  const std::vector<DeviceAddr> trustors =
+      network.DevicesByRole(DeviceRole::kTrustor);
+
+  InferenceExperimentResult result;
+  double with_sum = 0.0, without_sum = 0.0;
+
+  for (std::size_t run = 0; run < config.experiment_runs; ++run) {
+    // The requested task contains two characteristics that appeared in
+    // different previous tasks.
+    const auto picks =
+        rng.SampleWithoutReplacement(config.characteristic_count, 2);
+    const auto c1 = static_cast<trust::CharacteristicId>(picks[0]);
+    const auto c2 = static_cast<trust::CharacteristicId>(picks[1]);
+    const trust::TaskId request =
+        catalog
+            .AddUniform("request-" + std::to_string(run), {c1, c2})
+            .value();
+
+    std::size_t honest_with = 0, honest_without = 0;
+    for (const DeviceAddr x : trustors) {
+      const auto group_trustees =
+          network.TrusteesInGroup(network.device(x).group());
+      SIOT_CHECK(!group_trustees.empty());
+
+      // WITH the proposed model: infer the new task's trustworthiness
+      // from the (noisily observed) previous-task records (Eq. 4).
+      DeviceAddr best_with = group_trustees.front();
+      double best_with_tw = -1.0;
+      // WITHOUT: the task counts as completely new — no usable records,
+      // so the choice is uninformed (uniform over the group's trustees).
+      const DeviceAddr best_without =
+          group_trustees[rng.NextBounded(group_trustees.size())];
+
+      for (const DeviceAddr y : group_trustees) {
+        const TrusteeTruth& truth = truths.at(y);
+        std::vector<trust::TaskExperience> experiences;
+        for (std::size_t c = 0; c < config.characteristic_count; ++c) {
+          const double observed = std::clamp(
+              truth.competence[c] +
+                  rng.Gaussian(0.0, config.observation_noise_sd),
+              0.0, 1.0);
+          experiences.push_back({previous_tasks[c], observed});
+        }
+        const auto inferred = trust::InferTrustworthiness(
+            catalog, catalog.Get(request), experiences);
+        SIOT_CHECK(inferred.ok());
+        if (inferred.value() > best_with_tw) {
+          best_with_tw = inferred.value();
+          best_with = y;
+        }
+      }
+
+      // Run the delegation over the network: request to the selected
+      // trustee, response back, report to the coordinator (tag = run,
+      // value = 1 if the chosen device is honest).
+      AppMessage request_msg;
+      request_msg.source = x;
+      request_msg.destination = best_with;
+      request_msg.type = PayloadType::kTaskRequest;
+      request_msg.payload_bytes = 24;
+      request_msg.tag = static_cast<std::int64_t>(run);
+      network.device(x).stack().SendMessage(request_msg);
+
+      AppMessage report;
+      report.source = x;
+      report.destination = kCoordinatorAddr;
+      report.type = PayloadType::kReport;
+      report.payload_bytes = 16;
+      report.tag = static_cast<std::int64_t>(run);
+      report.value = network.device(best_with).role() ==
+                             DeviceRole::kHonestTrustee
+                         ? 1.0
+                         : 0.0;
+      network.device(x).stack().SendMessage(report);
+
+      if (network.device(best_with).role() == DeviceRole::kHonestTrustee) {
+        ++honest_with;
+      }
+      if (network.device(best_without).role() ==
+          DeviceRole::kHonestTrustee) {
+        ++honest_without;
+      }
+    }
+    network.events().RunAll();  // drain the run's traffic
+
+    InferenceRunResult run_result;
+    run_result.honest_fraction_with_model =
+        static_cast<double>(honest_with) /
+        static_cast<double>(trustors.size());
+    run_result.honest_fraction_without_model =
+        static_cast<double>(honest_without) /
+        static_cast<double>(trustors.size());
+    with_sum += run_result.honest_fraction_with_model;
+    without_sum += run_result.honest_fraction_without_model;
+    result.runs.push_back(run_result);
+  }
+
+  // The coordinator must have received one report per trustor per run
+  // (the CP2102 export path of §5.2).
+  SIOT_CHECK_MSG(coordinator.reports().size() ==
+                     trustors.size() * config.experiment_runs,
+                 "coordinator received %zu of %zu reports",
+                 coordinator.reports().size(),
+                 trustors.size() * config.experiment_runs);
+
+  result.mean_with_model =
+      with_sum / static_cast<double>(config.experiment_runs);
+  result.mean_without_model =
+      without_sum / static_cast<double>(config.experiment_runs);
+  return result;
+}
+
+}  // namespace siot::iotnet

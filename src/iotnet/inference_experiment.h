@@ -1,0 +1,57 @@
+// Copyright 2026 The siot-trust Authors.
+// §5.4 / Fig. 8 — inferential transfer of trust on the experimental IoT
+// network. Each trustor requests a task with two characteristics that were
+// exercised by different previous tasks; dishonest trustees performed
+// maliciously on one particular characteristic before. With the proposed
+// model the trustor infers the trustworthiness of the new task from the
+// analogous previous tasks (Eq. 4) and mostly selects honest devices;
+// without it the task counts as brand new and selection is uninformed.
+
+#ifndef SIOT_IOTNET_INFERENCE_EXPERIMENT_H_
+#define SIOT_IOTNET_INFERENCE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "iotnet/network.h"
+
+namespace siot::iotnet {
+
+/// Configuration of the Fig. 8 experiment.
+struct InferenceExperimentConfig {
+  /// Experiment repetitions (x-axis of Fig. 8).
+  std::size_t experiment_runs = 50;
+  /// Characteristics in the previous-task universe.
+  std::size_t characteristic_count = 4;
+  /// Honest trustees' per-characteristic competence range.
+  double honest_low = 0.70, honest_high = 0.95;
+  /// Dishonest trustees' competence on ordinary characteristics.
+  double dishonest_low = 0.60, dishonest_high = 0.85;
+  /// Dishonest trustees' competence on their maliciously-handled
+  /// characteristic.
+  double malicious_low = 0.05, malicious_high = 0.20;
+  /// Observation noise on experienced trustworthiness per run.
+  double observation_noise_sd = 0.05;
+  NetworkConfig network;
+};
+
+/// Per-run outcome.
+struct InferenceRunResult {
+  /// Fraction of trustors that selected an honest device.
+  double honest_fraction_with_model = 0.0;
+  double honest_fraction_without_model = 0.0;
+};
+
+/// Full Fig. 8 series.
+struct InferenceExperimentResult {
+  std::vector<InferenceRunResult> runs;
+  double mean_with_model = 0.0;
+  double mean_without_model = 0.0;
+};
+
+/// Runs the Fig. 8 experiment (both selection modes over the same runs).
+InferenceExperimentResult RunInferenceExperiment(
+    const InferenceExperimentConfig& config);
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_INFERENCE_EXPERIMENT_H_

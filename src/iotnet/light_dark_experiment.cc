@@ -1,0 +1,147 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/light_dark_experiment.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "trust/environment.h"
+#include "trust/update.h"
+
+namespace siot::iotnet {
+
+namespace {
+
+std::vector<double> RunMode(const LightDarkExperimentConfig& config,
+                            bool environment_aware) {
+  IoTNetwork network(config.network);
+  network.FormNetwork();
+  Rng rng(MixSeed(config.network.seed, environment_aware ? 0x11D1 : 0x11D2));
+
+  // Attach optical sensors to every trustee.
+  for (DeviceAddr a = 0; a < network.device_count(); ++a) {
+    if (network.device(a).is_trustee()) {
+      network.device(a).AttachOpticalSensor(
+          OpticalSensor(MixSeed(config.network.seed, a)));
+    }
+  }
+
+  const std::vector<DeviceAddr> trustors =
+      network.DevicesByRole(DeviceRole::kTrustor);
+  const trust::ForgettingFactors beta =
+      trust::ForgettingFactors::Uniform(config.beta);
+
+  // Per (trustor, trustee) estimates of the *intrinsic* service quality.
+  std::unordered_map<std::uint64_t, trust::OutcomeEstimates> estimates;
+  for (const DeviceAddr x : trustors) {
+    for (const DeviceAddr y :
+         network.TrusteesInGroup(network.device(x).group())) {
+      trust::OutcomeEstimates initial;
+      initial.success_rate = 0.6;  // mildly optimistic first contact
+      initial.gain = 0.6;
+      initial.damage = 0.1;
+      initial.cost = 0.05;
+      estimates[(static_cast<std::uint64_t>(x) << 32) | y] = initial;
+    }
+  }
+
+  std::vector<double> profit_per_round(config.experiment_runs, 0.0);
+  for (std::size_t round = 0; round < config.experiment_runs; ++round) {
+    const bool dark =
+        round >= config.dark_start && round < config.light_again;
+    const LightLevel light =
+        dark ? config.dark_level : config.light_level;
+    const bool final_light_phase = round >= config.light_again;
+
+    double round_profit = 0.0;
+    for (const DeviceAddr x : trustors) {
+      const auto group_trustees =
+          network.TrusteesInGroup(network.device(x).group());
+      // Rank by expected net profit under CURRENT conditions: intrinsic
+      // estimates scaled by the environment indicator when the model is
+      // environment-aware (the indicator is the measurable light level).
+      std::vector<trust::OutcomeEstimates> scored;
+      std::vector<DeviceAddr> available;
+      for (const DeviceAddr y : group_trustees) {
+        const bool malicious = network.device(y).role() ==
+                               DeviceRole::kDishonestTrustee;
+        // Free riders are absent before the final light phase.
+        if (malicious && !final_light_phase) continue;
+        trust::OutcomeEstimates e =
+            estimates[(static_cast<std::uint64_t>(x) << 32) | y];
+        if (environment_aware) {
+          e.success_rate *= light;  // expected outcome here and now
+          e.gain *= light;
+        }
+        scored.push_back(e);
+        available.push_back(y);
+      }
+      if (available.empty()) continue;
+      const auto best = trust::SelectBestCandidate(
+          scored, trust::SelectionStrategy::kMaxNetProfit);
+      SIOT_CHECK(best.ok());
+      const DeviceAddr y = available[best.value()];
+      NodeDevice& trustee = network.device(y);
+      const bool malicious =
+          trustee.role() == DeviceRole::kDishonestTrustee;
+
+      // Serve the task: acquire through the optical sensor under the
+      // current light; malicious devices sometimes return junk.
+      double quality =
+          trustee.optical_sensor().Acquire(light) *
+          (malicious ? config.malicious_competence
+                     : config.honest_competence);
+      if (malicious &&
+          rng.Bernoulli(config.malicious_misbehave_probability)) {
+        quality *= rng.Uniform(0.0, 0.3);  // junk response
+      }
+      const bool success = quality >= 0.5 * light || quality >= 0.5;
+      round_profit += config.gain_units * quality -
+                      0.05 * config.gain_units;  // small fixed cost
+
+      // Post-evaluation of the intrinsic estimates.
+      trust::DelegationOutcome outcome;
+      outcome.success = success;
+      outcome.gain = quality;
+      outcome.damage = success ? 0.0 : 0.4;
+      outcome.cost = 0.05;
+      const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
+      if (environment_aware) {
+        estimates[key] = trust::UpdateEstimatesWithEnvironment(
+            estimates[key], outcome, beta, light);
+      } else {
+        estimates[key] =
+            trust::UpdateEstimates(estimates[key], outcome, beta);
+      }
+    }
+    profit_per_round[round] = round_profit;
+  }
+  return profit_per_round;
+}
+
+}  // namespace
+
+LightDarkResult RunLightDarkExperiment(
+    const LightDarkExperimentConfig& config) {
+  SIOT_CHECK(config.dark_start < config.light_again);
+  SIOT_CHECK(config.light_again <= config.experiment_runs);
+  LightDarkResult result;
+  result.with_model_profit = RunMode(config, /*environment_aware=*/true);
+  result.without_model_profit =
+      RunMode(config, /*environment_aware=*/false);
+  auto phase_mean = [&](const std::vector<double>& series) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = config.light_again; i < series.size(); ++i) {
+      sum += series[i];
+      ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  };
+  result.final_phase_with_model = phase_mean(result.with_model_profit);
+  result.final_phase_without_model =
+      phase_mean(result.without_model_profit);
+  return result;
+}
+
+}  // namespace siot::iotnet

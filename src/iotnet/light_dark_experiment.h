@@ -1,0 +1,62 @@
+// Copyright 2026 The siot-trust Authors.
+// §5.7 / Fig. 16 — distinguishing honest nodes in a hostile environment
+// from malicious nodes. Optical-sensor trustees serve image-acquisition
+// tasks through a light → dark → light schedule. Honest trustees serve the
+// whole time but perform poorly in the dark (physics, not malice);
+// free-rider trustees appear only in the final light phase and misbehave
+// occasionally. The environment-aware trust model (Eqs. 25–29) removes the
+// light level from the evaluations, keeps trusting the honest devices
+// through the dark phase, and restores full net profit in the final light
+// phase; the environment-blind model permanently demotes the honest
+// devices and hands the final phase to the malicious ones.
+
+#ifndef SIOT_IOTNET_LIGHT_DARK_EXPERIMENT_H_
+#define SIOT_IOTNET_LIGHT_DARK_EXPERIMENT_H_
+
+#include <vector>
+
+#include "iotnet/network.h"
+#include "iotnet/sensor.h"
+
+namespace siot::iotnet {
+
+/// Configuration of the Fig. 16 experiment.
+struct LightDarkExperimentConfig {
+  /// Experiment rounds (x-axis of Fig. 16).
+  std::size_t experiment_runs = 50;
+  /// Phase boundaries: light in [0, dark_start), dark in
+  /// [dark_start, light_again), light afterwards.
+  std::size_t dark_start = 15;
+  std::size_t light_again = 30;
+  /// Ambient light levels per phase.
+  LightLevel light_level = 1.0;
+  LightLevel dark_level = 0.15;
+  /// Honest trustees' intrinsic acquisition competence.
+  double honest_competence = 0.92;
+  /// Malicious trustees' competence when they bother to serve, and the
+  /// probability that they misbehave (junk response) instead.
+  double malicious_competence = 0.70;
+  double malicious_misbehave_probability = 0.45;
+  /// Gain units per fully-served task (Fig. 16's y-axis scale).
+  double gain_units = 100.0;
+  /// Weight of the OLD estimate per Eq. 19.
+  double beta = 0.9;
+  NetworkConfig network;
+};
+
+/// Per-round network-wide net profit for both models.
+struct LightDarkResult {
+  std::vector<double> with_model_profit;
+  std::vector<double> without_model_profit;
+  /// Mean profit over the final light phase.
+  double final_phase_with_model = 0.0;
+  double final_phase_without_model = 0.0;
+};
+
+/// Runs the Fig. 16 experiment (both models over the same schedule).
+LightDarkResult RunLightDarkExperiment(
+    const LightDarkExperimentConfig& config);
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_LIGHT_DARK_EXPERIMENT_H_

@@ -1,0 +1,123 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/network.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/macros.h"
+
+namespace siot::iotnet {
+
+IoTNetwork::IoTNetwork(const NetworkConfig& config)
+    : config_(config),
+      radio_(config.radio, MixSeed(config.seed, 0xAD10)),
+      rng_(MixSeed(config.seed, 0x4E7)) {
+  // Coordinator at the center.
+  radio_.AddDevice({0.0, 0.0});
+  devices_.push_back(std::make_unique<NodeDevice>(
+      this, kCoordinatorAddr, DeviceRole::kCoordinator, /*group=*/0,
+      config.mac, config.power, MixSeed(config.seed, 1)));
+
+  // Groups on a circle around the coordinator, members on a small circle
+  // around each group center (all well within the 250 m radio range).
+  const std::size_t per_group = config.trustors_per_group +
+                                config.honest_trustees_per_group +
+                                config.dishonest_trustees_per_group;
+  for (std::size_t g = 0; g < config.groups; ++g) {
+    const double group_angle = 2.0 * std::numbers::pi *
+                               static_cast<double>(g) /
+                               static_cast<double>(config.groups);
+    const Position center{
+        config.deployment_radius_m * std::cos(group_angle),
+        config.deployment_radius_m * std::sin(group_angle)};
+    for (std::size_t m = 0; m < per_group; ++m) {
+      const double member_angle = 2.0 * std::numbers::pi *
+                                  static_cast<double>(m) /
+                                  static_cast<double>(per_group);
+      const Position position{
+          center.x + config.group_radius_m * std::cos(member_angle),
+          center.y + config.group_radius_m * std::sin(member_angle)};
+      DeviceRole role;
+      if (m < config.trustors_per_group) {
+        role = DeviceRole::kTrustor;
+      } else if (m < config.trustors_per_group +
+                         config.honest_trustees_per_group) {
+        role = DeviceRole::kHonestTrustee;
+      } else {
+        role = DeviceRole::kDishonestTrustee;
+      }
+      const auto address = static_cast<DeviceAddr>(devices_.size());
+      radio_.AddDevice(position);
+      devices_.push_back(std::make_unique<NodeDevice>(
+          this, address, role, g + 1, config.mac, config.power,
+          MixSeed(config.seed, address + 100)));
+    }
+  }
+}
+
+NodeDevice& IoTNetwork::device(DeviceAddr address) {
+  SIOT_CHECK(address < devices_.size());
+  return *devices_[address];
+}
+
+const NodeDevice& IoTNetwork::device(DeviceAddr address) const {
+  SIOT_CHECK(address < devices_.size());
+  return *devices_[address];
+}
+
+std::vector<DeviceAddr> IoTNetwork::DevicesByRole(DeviceRole role) const {
+  std::vector<DeviceAddr> out;
+  for (DeviceAddr a = 0; a < devices_.size(); ++a) {
+    if (devices_[a]->role() == role) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<DeviceAddr> IoTNetwork::TrusteesInGroup(std::size_t group) const {
+  std::vector<DeviceAddr> out;
+  for (DeviceAddr a = 0; a < devices_.size(); ++a) {
+    if (devices_[a]->group() == group && devices_[a]->is_trustee()) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+void IoTNetwork::FormNetwork() {
+  // "The coordinator scans the RF environment, chooses a channel and a
+  // network identifier, and starts the network" — modeled as a scan pause
+  // followed by a beacon, after which every device associates.
+  const SimTime scan_time = 50 * kMillisecond;
+  events_.Schedule(scan_time, [this] {
+    for (auto& device : devices_) {
+      if (device->address() == kCoordinatorAddr) continue;
+      device->stack().Associate();
+    }
+    formed_ = true;
+  });
+  events_.RunUntil(events_.now() + scan_time);
+  SIOT_CHECK(formed_);
+}
+
+void IoTNetwork::TransmitOverAir(DeviceAddr from, DeviceAddr to,
+                                 const AppMessage& message,
+                                 std::size_t fragment_index,
+                                 std::size_t fragment_count,
+                                 std::size_t bytes,
+                                 std::function<void(bool)> on_complete) {
+  SIOT_CHECK(to != kBroadcastAddr);  // experiments use unicast only
+  const SimTime air_time = radio_.TransmissionTime(bytes);
+  const bool delivered = radio_.AttemptDelivery(from, to);
+  events_.Schedule(air_time, [this, to, message, fragment_index,
+                              fragment_count, air_time, delivered,
+                              on_complete = std::move(on_complete)] {
+    if (delivered) {
+      device(to).stack().DeliverFragment(message, fragment_index,
+                                         fragment_count, air_time);
+    }
+    if (on_complete) on_complete(delivered);
+  });
+}
+
+}  // namespace siot::iotnet

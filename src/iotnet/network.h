@@ -1,0 +1,88 @@
+// Copyright 2026 The siot-trust Authors.
+// The experimental IoT network of §5.2: a coordinator that starts the
+// IEEE 802.15.4 network plus five groups, each with two trustors, two
+// honest trustees, and two dishonest trustees. Owns the event queue, the
+// radio medium, and the device table; ZStack instances transmit through
+// it.
+
+#ifndef SIOT_IOTNET_NETWORK_H_
+#define SIOT_IOTNET_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "iotnet/device.h"
+#include "iotnet/event_queue.h"
+#include "iotnet/radio.h"
+#include "iotnet/zstack.h"
+
+namespace siot::iotnet {
+
+/// Network-wide configuration.
+struct NetworkConfig {
+  RadioParams radio;
+  MacParams mac;
+  PowerParams power;
+  /// Groups and composition (§5.2 defaults).
+  std::size_t groups = 5;
+  std::size_t trustors_per_group = 2;
+  std::size_t honest_trustees_per_group = 2;
+  std::size_t dishonest_trustees_per_group = 2;
+  /// Devices of a group are placed on a circle of this radius around the
+  /// group center; groups sit on a larger circle around the coordinator.
+  double group_radius_m = 8.0;
+  double deployment_radius_m = 60.0;
+  std::uint64_t seed = 1;
+};
+
+/// The simulated deployment.
+class IoTNetwork {
+ public:
+  explicit IoTNetwork(const NetworkConfig& config);
+
+  // Not movable: stacks hold back-pointers.
+  IoTNetwork(const IoTNetwork&) = delete;
+  IoTNetwork& operator=(const IoTNetwork&) = delete;
+
+  EventQueue& events() { return events_; }
+  RadioMedium& radio() { return radio_; }
+  Rng& rng() { return rng_; }
+
+  std::size_t device_count() const { return devices_.size(); }
+  NodeDevice& device(DeviceAddr address);
+  const NodeDevice& device(DeviceAddr address) const;
+  NodeDevice& coordinator() { return device(kCoordinatorAddr); }
+
+  /// Devices with the given role, in address order.
+  std::vector<DeviceAddr> DevicesByRole(DeviceRole role) const;
+  /// Trustee devices (honest + dishonest) in `group`.
+  std::vector<DeviceAddr> TrusteesInGroup(std::size_t group) const;
+
+  /// ZDO network formation: the coordinator scans, picks a channel, and
+  /// every device associates. Runs the event queue until formation
+  /// completes.
+  void FormNetwork();
+  bool formed() const { return formed_; }
+
+  /// Internal (called by ZStack): move one fragment over the air.
+  /// Delivers to the destination stack after the air time, or reports
+  /// failure (out of range / loss) to the sender's retry logic via the
+  /// return flag of the scheduled completion.
+  void TransmitOverAir(DeviceAddr from, DeviceAddr to,
+                       const AppMessage& message, std::size_t fragment_index,
+                       std::size_t fragment_count, std::size_t bytes,
+                       std::function<void(bool delivered)> on_complete);
+
+ private:
+  NetworkConfig config_;
+  EventQueue events_;
+  RadioMedium radio_;
+  Rng rng_;
+  std::vector<std::unique_ptr<NodeDevice>> devices_;
+  bool formed_ = false;
+};
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_NETWORK_H_

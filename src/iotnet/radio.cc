@@ -1,0 +1,62 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/radio.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace siot::iotnet {
+
+double Distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+RadioMedium::RadioMedium(RadioParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  SIOT_CHECK(params_.range_m > 0.0);
+  SIOT_CHECK(params_.bit_rate_bps > 0.0);
+  SIOT_CHECK(params_.loss_probability >= 0.0 &&
+             params_.loss_probability < 1.0);
+}
+
+std::size_t RadioMedium::AddDevice(Position position) {
+  positions_.push_back(position);
+  return positions_.size() - 1;
+}
+
+const Position& RadioMedium::position(std::size_t device) const {
+  SIOT_CHECK(device < positions_.size());
+  return positions_[device];
+}
+
+void RadioMedium::MoveDevice(std::size_t device, Position position) {
+  SIOT_CHECK(device < positions_.size());
+  positions_[device] = position;
+}
+
+bool RadioMedium::InRange(std::size_t from, std::size_t to) const {
+  return Distance(position(from), position(to)) <= params_.range_m;
+}
+
+bool RadioMedium::InReconnectRange(std::size_t from, std::size_t to) const {
+  return Distance(position(from), position(to)) <=
+         params_.reconnect_range_m;
+}
+
+SimTime RadioMedium::TransmissionTime(std::size_t bytes) const {
+  // IEEE 802.15.4 PHY: 4-byte preamble + SFD + length before the payload.
+  const std::size_t phy_bytes = bytes + 6;
+  const double seconds =
+      static_cast<double>(phy_bytes * 8) / params_.bit_rate_bps;
+  return static_cast<SimTime>(seconds * 1e6);
+}
+
+bool RadioMedium::AttemptDelivery(std::size_t from, std::size_t to) {
+  if (!InRange(from, to)) return false;
+  return !rng_.Bernoulli(params_.loss_probability);
+}
+
+}  // namespace siot::iotnet

@@ -1,0 +1,72 @@
+// Copyright 2026 The siot-trust Authors.
+// Radio medium of the simulated IoT network. Models the CC2530-class
+// deployment of §5.2: 2.4 GHz omnidirectional radios, reliable transmission
+// up to 250 m, automatic reconnection within 110 m, IEEE 802.15.4 air rate
+// of 250 kbit/s.
+
+#ifndef SIOT_IOTNET_RADIO_H_
+#define SIOT_IOTNET_RADIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "iotnet/event_queue.h"
+
+namespace siot::iotnet {
+
+/// Device position in meters.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double Distance(const Position& a, const Position& b);
+
+/// Radio propagation parameters (§5.2 hardware).
+struct RadioParams {
+  /// Reliable unicast range (m).
+  double range_m = 250.0;
+  /// Range within which a dropped node auto-reconnects (m).
+  double reconnect_range_m = 110.0;
+  /// Air bit rate (IEEE 802.15.4 @ 2.4 GHz).
+  double bit_rate_bps = 250000.0;
+  /// Base frame loss probability within range.
+  double loss_probability = 0.01;
+};
+
+/// Shared radio medium: answers reachability and transmission timing.
+class RadioMedium {
+ public:
+  RadioMedium(RadioParams params, std::uint64_t seed);
+
+  /// Registers a device; returns its radio index (== device id by
+  /// convention in IoTNetwork).
+  std::size_t AddDevice(Position position);
+
+  std::size_t device_count() const { return positions_.size(); }
+  const Position& position(std::size_t device) const;
+  void MoveDevice(std::size_t device, Position position);
+
+  /// Within reliable unicast range.
+  bool InRange(std::size_t from, std::size_t to) const;
+  /// Within the auto-reconnection range.
+  bool InReconnectRange(std::size_t from, std::size_t to) const;
+
+  /// Time on air for a frame of `bytes` (PHY preamble+header included).
+  SimTime TransmissionTime(std::size_t bytes) const;
+
+  /// Samples whether a single in-range transmission attempt succeeds.
+  bool AttemptDelivery(std::size_t from, std::size_t to);
+
+  const RadioParams& params() const { return params_; }
+
+ private:
+  RadioParams params_;
+  std::vector<Position> positions_;
+  Rng rng_;
+};
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_RADIO_H_

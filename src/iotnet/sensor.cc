@@ -1,0 +1,26 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/sensor.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace siot::iotnet {
+
+OpticalSensor::OpticalSensor(std::uint64_t seed, double noise_sd)
+    : rng_(seed), noise_sd_(noise_sd) {
+  SIOT_CHECK(noise_sd >= 0.0);
+}
+
+double OpticalSensor::Acquire(LightLevel light) {
+  SIOT_CHECK_MSG(light >= 0.0 && light <= 1.0,
+                 "light level %f outside [0,1]", light);
+  ++acquisitions_;
+  // Signal follows the light level with additive read noise; darkness
+  // yields mostly noise regardless of the device's competence.
+  const double quality = light + rng_.Gaussian(0.0, noise_sd_);
+  return std::clamp(quality, 0.0, 1.0);
+}
+
+}  // namespace siot::iotnet

@@ -1,0 +1,39 @@
+// Copyright 2026 The siot-trust Authors.
+// Optical sensor model (§5.7 experiment): reading quality follows the
+// ambient light level, so service quality degrades in the dark through no
+// fault of the serving device — exactly the environment effect the trust
+// model's r(·) is designed to remove.
+
+#ifndef SIOT_IOTNET_SENSOR_H_
+#define SIOT_IOTNET_SENSOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace siot::iotnet {
+
+/// Ambient light level in [0, 1] (1 = full light, 0 = darkness).
+using LightLevel = double;
+
+/// Optical sensor attached to a node device.
+class OpticalSensor {
+ public:
+  /// `noise_sd`: Gaussian read noise on top of the light response.
+  explicit OpticalSensor(std::uint64_t seed, double noise_sd = 0.05);
+
+  /// One acquisition under `light`: the returned quality is the fraction
+  /// of useful signal in [0, 1]; in darkness readings are mostly noise.
+  double Acquire(LightLevel light);
+
+  std::size_t acquisitions() const { return acquisitions_; }
+
+ private:
+  Rng rng_;
+  double noise_sd_;
+  std::size_t acquisitions_ = 0;
+};
+
+}  // namespace siot::iotnet
+
+#endif  // SIOT_IOTNET_SENSOR_H_

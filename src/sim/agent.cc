@@ -1,0 +1,37 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/agent.h"
+
+#include "common/macros.h"
+
+namespace siot::sim {
+
+Population BuildPopulation(const graph::Graph& graph,
+                           const PopulationConfig& config, Rng& rng) {
+  SIOT_CHECK_MSG(
+      config.trustor_fraction >= 0.0 && config.trustee_fraction >= 0.0 &&
+          config.trustor_fraction + config.trustee_fraction <= 1.0,
+      "role fractions must be non-negative and sum to <= 1");
+  const std::size_t n = graph.node_count();
+  Population population;
+  population.roles.assign(n, AgentRole::kBystander);
+  const auto trustor_count =
+      static_cast<std::size_t>(config.trustor_fraction * static_cast<double>(n));
+  const auto trustee_count =
+      static_cast<std::size_t>(config.trustee_fraction * static_cast<double>(n));
+  const auto picks =
+      rng.SampleWithoutReplacement(n, trustor_count + trustee_count);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const auto agent = static_cast<trust::AgentId>(picks[i]);
+    if (i < trustor_count) {
+      population.roles[agent] = AgentRole::kTrustor;
+      population.trustors.push_back(agent);
+    } else {
+      population.roles[agent] = AgentRole::kTrustee;
+      population.trustees.push_back(agent);
+    }
+  }
+  return population;
+}
+
+}  // namespace siot::sim

@@ -1,0 +1,50 @@
+// Copyright 2026 The siot-trust Authors.
+// Agent roles and population sampling for the social-IoT simulations. The
+// paper's §5.1 setup: "with each sub-network, we randomly select about 40%
+// of the nodes as trustors and about 40% of the nodes as trustees".
+
+#ifndef SIOT_SIM_AGENT_H_
+#define SIOT_SIM_AGENT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "trust/types.h"
+
+namespace siot::sim {
+
+/// Role a node plays in an experiment.
+enum class AgentRole : std::uint8_t {
+  kBystander = 0,  ///< Relays requests but neither requests nor serves.
+  kTrustor = 1,
+  kTrustee = 2,
+};
+
+/// Role-sampling configuration (§5.1 defaults).
+struct PopulationConfig {
+  double trustor_fraction = 0.4;
+  double trustee_fraction = 0.4;
+};
+
+/// A sampled role assignment over a social graph.
+struct Population {
+  std::vector<AgentRole> roles;        ///< Per node.
+  std::vector<trust::AgentId> trustors;
+  std::vector<trust::AgentId> trustees;
+
+  bool IsTrustor(trust::AgentId agent) const {
+    return roles[agent] == AgentRole::kTrustor;
+  }
+  bool IsTrustee(trust::AgentId agent) const {
+    return roles[agent] == AgentRole::kTrustee;
+  }
+};
+
+/// Samples disjoint trustor/trustee sets of the configured fractions.
+Population BuildPopulation(const graph::Graph& graph,
+                           const PopulationConfig& config, Rng& rng);
+
+}  // namespace siot::sim
+
+#endif  // SIOT_SIM_AGENT_H_

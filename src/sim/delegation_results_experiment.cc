@@ -1,0 +1,143 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/delegation_results_experiment.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace siot::sim {
+
+namespace {
+
+/// Hidden ground truth of one (trustor, trustee) pairing.
+struct PairTruth {
+  double success_rate;  ///< Trustee's actual success probability.
+  double gain;          ///< Realized gain on success.
+  double damage;        ///< Realized damage on failure.
+  double cost;          ///< Realized cost either way.
+};
+
+}  // namespace
+
+const StrategyTrace& DelegationResultsOutcome::ForStrategy(
+    trust::SelectionStrategy strategy) const {
+  for (const auto& s : strategies) {
+    if (s.strategy == strategy) return s;
+  }
+  SIOT_CHECK_MSG(false, "strategy not present in outcome");
+  return strategies.front();
+}
+
+DelegationResultsOutcome RunDelegationResultsExperiment(
+    const graph::SocialDataset& dataset,
+    const DelegationResultsConfig& config) {
+  const graph::Graph& graph = dataset.graph;
+  Rng rng(config.seed);
+  const Population population =
+      BuildPopulation(graph, config.population, rng);
+
+  // "Every trustor selects its trustee among the potential trustees":
+  // every trustee-role node is a candidate for every trustor.
+  const std::vector<trust::AgentId>& candidate_pool = population.trustees;
+
+  // Hidden truths per trustee ("we assign each potential trustee random
+  // values of the expected success rate, gain, damage, and cost"), fixed
+  // across both strategies.
+  std::unordered_map<trust::AgentId, PairTruth> truths;
+  for (trust::AgentId y : candidate_pool) {
+    truths[y] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+                 rng.NextDouble()};
+  }
+  auto truth = [&](trust::AgentId y) -> const PairTruth& {
+    return truths.at(y);
+  };
+
+  const trust::ForgettingFactors beta =
+      trust::ForgettingFactors::Uniform(config.beta);
+
+  DelegationResultsOutcome outcome;
+  outcome.network = dataset.network;
+
+  for (const trust::SelectionStrategy strategy :
+       {trust::SelectionStrategy::kMaxSuccessRate,
+        trust::SelectionStrategy::kMaxNetProfit}) {
+    // Estimates start random: the trustor initially misjudges everyone and
+    // must learn the trustees' behavior from delegation results.
+    Rng init_rng = rng.Fork(11);
+    std::unordered_map<std::uint64_t, trust::OutcomeEstimates> estimates;
+    for (trust::AgentId x : population.trustors) {
+      for (trust::AgentId y : candidate_pool) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
+        estimates[key] = {init_rng.NextDouble(), init_rng.NextDouble(),
+                          init_rng.NextDouble(), init_rng.NextDouble()};
+      }
+    }
+
+    Rng run_rng = rng.Fork(static_cast<std::uint64_t>(strategy) + 17);
+    IterationTrace trace(config.iterations);
+    std::vector<trust::OutcomeEstimates> scored(candidate_pool.size());
+    for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+      for (trust::AgentId x : population.trustors) {
+        if (candidate_pool.empty()) continue;
+        // Select by strategy.
+        for (std::size_t i = 0; i < candidate_pool.size(); ++i) {
+          scored[i] = estimates[(static_cast<std::uint64_t>(x) << 32) |
+                                candidate_pool[i]];
+        }
+        const auto best = trust::SelectBestCandidate(scored, strategy);
+        SIOT_CHECK(best.ok());
+        const trust::AgentId y = candidate_pool[best.value()];
+        const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
+        // Delegate and observe.
+        const PairTruth& t = truth(y);
+        const bool success = run_rng.Bernoulli(t.success_rate);
+        const double profit =
+            success ? t.gain - t.cost : -t.damage - t.cost;
+        trace.Add(iter, profit);
+        // Post-evaluation (Eqs. 19–22).
+        trust::DelegationOutcome observed;
+        observed.success = success;
+        observed.gain = success ? t.gain : 0.0;
+        observed.damage = success ? 0.0 : t.damage;
+        observed.cost = t.cost;
+        estimates[key] =
+            trust::UpdateEstimates(estimates[key], observed, beta);
+      }
+    }
+
+    // Downsample the trace.
+    StrategyTrace strategy_trace;
+    strategy_trace.strategy = strategy;
+    const std::vector<double> mean = trace.Mean();
+    const std::size_t stride =
+        std::max<std::size_t>(1, config.iterations / config.trace_points);
+    for (std::size_t i = 0; i < config.iterations; i += stride) {
+      // Average the window for a smoother trace.
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (std::size_t j = i; j < std::min(i + stride, config.iterations);
+           ++j) {
+        sum += mean[j];
+        ++count;
+      }
+      strategy_trace.iteration.push_back(i);
+      strategy_trace.mean_profit.push_back(sum /
+                                           static_cast<double>(count));
+    }
+    const std::size_t tail_start =
+        config.iterations - std::max<std::size_t>(1, config.iterations / 10);
+    double tail_sum = 0.0;
+    std::size_t tail_count = 0;
+    for (std::size_t i = tail_start; i < config.iterations; ++i) {
+      tail_sum += mean[i];
+      ++tail_count;
+    }
+    strategy_trace.final_profit =
+        tail_sum / static_cast<double>(tail_count);
+    outcome.strategies.push_back(std::move(strategy_trace));
+  }
+  return outcome;
+}
+
+}  // namespace siot::sim

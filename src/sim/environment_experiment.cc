@@ -1,0 +1,79 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/environment_experiment.h"
+
+#include "common/macros.h"
+#include "common/stats.h"
+
+namespace siot::sim {
+
+EnvironmentTrackingResult RunEnvironmentTrackingExperiment(
+    const EnvironmentTrackingConfig& config) {
+  SIOT_CHECK(!config.phases.empty());
+  SIOT_CHECK(config.runs >= 1);
+  std::size_t total_iterations = 0;
+  for (const EnvironmentPhase& phase : config.phases) {
+    total_iterations += phase.iterations;
+  }
+  SIOT_CHECK(total_iterations > 0);
+
+  // Per-iteration environment indicator.
+  std::vector<double> env(total_iterations, 1.0);
+  {
+    std::size_t cursor = 0;
+    for (const EnvironmentPhase& phase : config.phases) {
+      for (std::size_t i = 0; i < phase.iterations; ++i) {
+        env[cursor++] = phase.indicator;
+      }
+    }
+  }
+
+  SeriesAverager no_env_avg, traditional_avg, proposed_avg;
+  Rng master(config.seed);
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    Rng rng = master.Fork(run);
+    // The paper initializes the expected success rate as 1.
+    ExponentialAverage no_env(config.beta, 1.0);
+    ExponentialAverage traditional(config.beta, 1.0);
+    ExponentialAverage intrinsic(config.beta, 1.0);
+    std::vector<double> no_env_series(total_iterations);
+    std::vector<double> traditional_series(total_iterations);
+    std::vector<double> proposed_series(total_iterations);
+    for (std::size_t t = 0; t < total_iterations; ++t) {
+      const double e = env[t];
+      // Baseline: outcomes unaffected by environment.
+      no_env.Update(rng.Bernoulli(config.intrinsic_success_rate) ? 1.0
+                                                                 : 0.0);
+      // Environment-attenuated observation, shared by both methods.
+      const bool observed =
+          rng.Bernoulli(config.intrinsic_success_rate * e);
+      traditional.Update(observed ? 1.0 : 0.0);
+      // Proposed: de-bias the sample by r(·) (Eq. 29); the prediction for
+      // the CURRENT conditions is intrinsic × E(t).
+      intrinsic.Update(trust::RemoveEnvironmentInfluence(
+          observed ? 1.0 : 0.0, e));
+      no_env_series[t] = no_env.value();
+      traditional_series[t] = traditional.value();
+      proposed_series[t] = intrinsic.value() * e;
+    }
+    no_env_avg.AddRun(no_env_series);
+    traditional_avg.AddRun(traditional_series);
+    proposed_avg.AddRun(proposed_series);
+  }
+
+  EnvironmentTrackingResult result;
+  result.iteration.resize(total_iterations);
+  for (std::size_t t = 0; t < total_iterations; ++t) {
+    result.iteration[t] = static_cast<double>(t);
+  }
+  result.no_environment = no_env_avg.Mean();
+  result.traditional = traditional_avg.Mean();
+  result.proposed = proposed_avg.Mean();
+  result.expected.resize(total_iterations);
+  for (std::size_t t = 0; t < total_iterations; ++t) {
+    result.expected[t] = config.intrinsic_success_rate * env[t];
+  }
+  return result;
+}
+
+}  // namespace siot::sim

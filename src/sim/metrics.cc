@@ -1,0 +1,5 @@
+// Copyright 2026 The siot-trust Authors.
+// DelegationTally and IterationTrace are header-only; this file anchors the
+// translation unit for the sim metrics component.
+
+#include "sim/metrics.h"

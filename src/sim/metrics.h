@@ -1,0 +1,100 @@
+// Copyright 2026 The siot-trust Authors.
+// Metric accumulators shared by the §5 experiments: the success /
+// unavailable / abuse rates of task delegations and net-profit traces.
+
+#ifndef SIOT_SIM_METRICS_H_
+#define SIOT_SIM_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace siot::sim {
+
+/// Tallies one experiment's delegation results (§5.3 / §5.5 definitions):
+///  * success rate      = successful delegations / total requests
+///  * unavailable rate  = unanswered requests / total requests
+///  * abuse rate        = abusive uses / all uses of trustees' resources
+struct DelegationTally {
+  std::size_t requests = 0;
+  std::size_t successes = 0;
+  std::size_t failures = 0;       ///< Served but trustee failed the task.
+  std::size_t unavailable = 0;    ///< No trustee found/accepting.
+  std::size_t abusive_uses = 0;
+  std::size_t total_uses = 0;
+
+  void AddSuccess(bool abusive) {
+    ++requests;
+    ++successes;
+    AddUse(abusive);
+  }
+  void AddFailure(bool abusive) {
+    ++requests;
+    ++failures;
+    AddUse(abusive);
+  }
+  void AddUnavailable() {
+    ++requests;
+    ++unavailable;
+  }
+
+  double success_rate() const { return Ratio(successes, requests); }
+  double failure_rate() const { return Ratio(failures, requests); }
+  double unavailable_rate() const { return Ratio(unavailable, requests); }
+  double abuse_rate() const { return Ratio(abusive_uses, total_uses); }
+
+  void Merge(const DelegationTally& other) {
+    requests += other.requests;
+    successes += other.successes;
+    failures += other.failures;
+    unavailable += other.unavailable;
+    abusive_uses += other.abusive_uses;
+    total_uses += other.total_uses;
+  }
+
+ private:
+  void AddUse(bool abusive) {
+    ++total_uses;
+    if (abusive) ++abusive_uses;
+  }
+  static double Ratio(std::size_t num, std::size_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+/// Per-iteration average trace (e.g. net profit over update iterations,
+/// Fig. 13): accumulate per-iteration sums over agents, then normalize.
+class IterationTrace {
+ public:
+  explicit IterationTrace(std::size_t iterations)
+      : sums_(iterations, 0.0), counts_(iterations, 0) {}
+
+  void Add(std::size_t iteration, double value) {
+    SIOT_CHECK(iteration < sums_.size());
+    sums_[iteration] += value;
+    ++counts_[iteration];
+  }
+
+  std::size_t iterations() const { return sums_.size(); }
+
+  /// Per-iteration mean (0 where nothing was recorded).
+  std::vector<double> Mean() const {
+    std::vector<double> out(sums_.size(), 0.0);
+    for (std::size_t i = 0; i < sums_.size(); ++i) {
+      if (counts_[i] > 0) {
+        out[i] = sums_[i] / static_cast<double>(counts_[i]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<double> sums_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace siot::sim
+
+#endif  // SIOT_SIM_METRICS_H_

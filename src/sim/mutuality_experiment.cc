@@ -1,0 +1,84 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/mutuality_experiment.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "trust/mutual.h"
+
+namespace siot::sim {
+
+MutualityResult RunMutualityExperiment(const graph::SocialDataset& dataset,
+                                       const MutualityConfig& config) {
+  MutualityResult result;
+  result.network = dataset.network;
+  const graph::Graph& graph = dataset.graph;
+
+  Rng rng(config.seed);
+  const Population population =
+      BuildPopulation(graph, config.population, rng);
+
+  // Hidden trustor legitimacy: probability of responsible use.
+  std::vector<double> legitimacy(graph.node_count(), 1.0);
+  for (trust::AgentId x : population.trustors) {
+    legitimacy[x] = rng.NextDouble();
+  }
+  // Forward trustworthiness the trustor assigns each trustee (pre-
+  // evaluation); fixed per pair so candidate ranking is stable.
+  std::unordered_map<std::uint64_t, double> forward_tw;
+  auto forward = [&](trust::AgentId x, trust::AgentId y) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
+    auto [it, inserted] = forward_tw.try_emplace(key, 0.0);
+    if (inserted) it->second = rng.NextDouble();
+    return it->second;
+  };
+
+  const trust::TaskId task = 0;  // single task type τ in this experiment
+
+  for (double theta : config.thetas) {
+    // Fresh reverse evaluator per θ; one θ for every trustee.
+    trust::ReverseEvaluator evaluator;
+    evaluator.SetDefaultThreshold(theta);
+    Rng theta_rng = rng.Fork(static_cast<std::uint64_t>(theta * 1000.0));
+
+    // Warm-up: trustees accumulate usage statistics about adjacent
+    // trustors (responsible with probability = legitimacy).
+    for (trust::AgentId x : population.trustors) {
+      for (trust::AgentId y : graph.Neighbors(x)) {
+        if (!population.IsTrustee(y)) continue;
+        for (std::size_t u = 0; u < config.warmup_uses; ++u) {
+          evaluator.RecordUsage(y, x,
+                                !theta_rng.Bernoulli(legitimacy[x]));
+        }
+      }
+    }
+
+    // Measured phase.
+    MutualityPoint point;
+    point.theta = theta;
+    for (trust::AgentId x : population.trustors) {
+      std::vector<trust::ScoredCandidate> candidates;
+      for (trust::AgentId y : graph.Neighbors(x)) {
+        if (population.IsTrustee(y)) candidates.push_back({y, forward(x, y)});
+      }
+      for (std::size_t r = 0; r < config.requests_per_trustor; ++r) {
+        const trust::MutualSelection selection =
+            trust::SelectTrusteeMutually(evaluator, x, task, candidates);
+        if (selection.trustee == trust::kNoAgent) {
+          point.tally.AddUnavailable();
+          continue;
+        }
+        const bool abusive = !theta_rng.Bernoulli(legitimacy[x]);
+        point.tally.AddSuccess(abusive);
+        // Post-evaluation: the trustee records how its resources were used,
+        // sharpening future reverse evaluations.
+        evaluator.RecordUsage(selection.trustee, x, abusive);
+      }
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace siot::sim

@@ -1,0 +1,51 @@
+// Copyright 2026 The siot-trust Authors.
+// §5.3 / Fig. 7 — mutuality of trustor and trustee. Trustors carry a hidden
+// legitimacy value in [0,1] (probability of using a trustee's resources
+// responsibly); trustees reverse-evaluate trustors from usage statistics
+// and accept delegations only above threshold θ_y(τ). θ = 0 reproduces the
+// unilateral-evaluation baseline.
+
+#ifndef SIOT_SIM_MUTUALITY_EXPERIMENT_H_
+#define SIOT_SIM_MUTUALITY_EXPERIMENT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/datasets.h"
+#include "sim/agent.h"
+#include "sim/metrics.h"
+
+namespace siot::sim {
+
+/// Configuration of the Fig. 7 simulation.
+struct MutualityConfig {
+  /// Reverse-evaluation thresholds to sweep (the paper uses 0, 0.3, 0.6).
+  std::vector<double> thetas = {0.0, 0.3, 0.6};
+  /// Warm-up usage records seeded per (trustee, trustor) pair before the
+  /// measured phase (the trustee's "log files or usage pattern records").
+  std::size_t warmup_uses = 20;
+  /// Measured delegation requests per trustor.
+  std::size_t requests_per_trustor = 10;
+  PopulationConfig population;
+  std::uint64_t seed = 1;
+};
+
+/// One θ's measured rates.
+struct MutualityPoint {
+  double theta = 0.0;
+  DelegationTally tally;
+};
+
+/// Full sweep result for one network.
+struct MutualityResult {
+  graph::SocialNetwork network;
+  std::vector<MutualityPoint> points;
+};
+
+/// Runs the Fig. 7 sweep on one social network.
+MutualityResult RunMutualityExperiment(const graph::SocialDataset& dataset,
+                                       const MutualityConfig& config);
+
+}  // namespace siot::sim
+
+#endif  // SIOT_SIM_MUTUALITY_EXPERIMENT_H_

@@ -1,0 +1,171 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/network_setup.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace siot::sim {
+
+namespace {
+
+std::vector<trust::CharacteristicId> SampleFromFeatureBits(
+    std::uint64_t features, std::size_t max_per_task, Rng& rng) {
+  std::vector<trust::CharacteristicId> set_bits;
+  for (std::size_t b = 0; b < trust::kMaxCharacteristics; ++b) {
+    if ((features >> b) & 1ull) {
+      set_bits.push_back(static_cast<trust::CharacteristicId>(b));
+    }
+  }
+  SIOT_CHECK(!set_bits.empty());
+  const std::size_t count = std::min(
+      set_bits.size(),
+      1 + static_cast<std::size_t>(rng.NextBounded(max_per_task)));
+  const auto picks = rng.SampleWithoutReplacement(set_bits.size(), count);
+  std::vector<trust::CharacteristicId> chars;
+  chars.reserve(count);
+  for (std::size_t p : picks) chars.push_back(set_bits[p]);
+  return chars;
+}
+
+}  // namespace
+
+trust::TaskId SiotWorld::InternTask(
+    const std::vector<trust::CharacteristicId>& chars) {
+  trust::CharacteristicMask mask = 0;
+  for (trust::CharacteristicId c : chars) mask |= 1ull << c;
+  if (const auto it = by_mask_.find(mask); it != by_mask_.end()) {
+    return it->second;
+  }
+  auto added = catalog_.AddUniform(
+      StrFormat("task-%llx", static_cast<unsigned long long>(mask)), chars);
+  SIOT_CHECK_MSG(added.ok(), "%s", added.status().ToString().c_str());
+  by_mask_.emplace(mask, added.value());
+  return added.value();
+}
+
+SiotWorld SiotWorld::BuildRandom(const graph::Graph& graph,
+                                 const WorldConfig& config, Rng& rng) {
+  SIOT_CHECK(config.characteristic_count >= 1 &&
+             config.characteristic_count <= trust::kMaxCharacteristics);
+  SIOT_CHECK(config.tasks_per_node >= 1);
+  SiotWorld world;
+  world.graph_ = &graph;
+  world.competence_seed_ = rng.Next();
+  // Task-type space: every combination of 1..max_task_characteristics
+  // characteristics (a task type is identified by what it requires).
+  {
+    std::vector<trust::CharacteristicId> combo;
+    const std::size_t nc = config.characteristic_count;
+    for (std::size_t a = 0; a < nc; ++a) {
+      world.pool_.push_back(world.InternTask(
+          {static_cast<trust::CharacteristicId>(a)}));
+    }
+    if (config.max_task_characteristics >= 2) {
+      for (std::size_t a = 0; a < nc; ++a) {
+        for (std::size_t b = a + 1; b < nc; ++b) {
+          world.pool_.push_back(world.InternTask(
+              {static_cast<trust::CharacteristicId>(a),
+               static_cast<trust::CharacteristicId>(b)}));
+        }
+      }
+    }
+    SIOT_CHECK_MSG(config.max_task_characteristics <= 2,
+                   "random worlds support tasks of up to 2 characteristics");
+  }
+  // Per-node experienced tasks: distinct picks from the pool.
+  world.experienced_.resize(graph.node_count());
+  for (trust::AgentId v = 0; v < graph.node_count(); ++v) {
+    const std::size_t count =
+        std::min(config.tasks_per_node, world.pool_.size());
+    const auto picks =
+        rng.SampleWithoutReplacement(world.pool_.size(), count);
+    for (std::size_t p : picks) {
+      world.experienced_[v].push_back(world.pool_[p]);
+    }
+    std::sort(world.experienced_[v].begin(), world.experienced_[v].end());
+  }
+  return world;
+}
+
+SiotWorld SiotWorld::BuildFromFeatures(
+    const graph::Graph& graph, const std::vector<std::uint64_t>& features,
+    std::size_t feature_count, const WorldConfig& config, Rng& rng) {
+  SIOT_CHECK(features.size() == graph.node_count());
+  SIOT_CHECK(feature_count >= 1 &&
+             feature_count <= trust::kMaxCharacteristics);
+  SiotWorld world;
+  world.graph_ = &graph;
+  world.competence_seed_ = rng.Next();
+  world.experienced_.resize(graph.node_count());
+  for (trust::AgentId v = 0; v < graph.node_count(); ++v) {
+    for (std::size_t t = 0; t < config.tasks_per_node; ++t) {
+      const auto chars = SampleFromFeatureBits(
+          features[v], config.max_task_characteristics, rng);
+      const trust::TaskId id = world.InternTask(chars);
+      if (std::find(world.experienced_[v].begin(),
+                    world.experienced_[v].end(),
+                    id) == world.experienced_[v].end()) {
+        world.experienced_[v].push_back(id);
+      }
+    }
+    std::sort(world.experienced_[v].begin(), world.experienced_[v].end());
+  }
+  // The request pool is every interned task type.
+  world.pool_.reserve(world.by_mask_.size());
+  for (const auto& [mask, id] : world.by_mask_) world.pool_.push_back(id);
+  std::sort(world.pool_.begin(), world.pool_.end());
+  return world;
+}
+
+const std::vector<trust::TaskId>& SiotWorld::ExperiencedTasks(
+    trust::AgentId agent) const {
+  SIOT_CHECK(agent < experienced_.size());
+  return experienced_[agent];
+}
+
+double SiotWorld::CharacteristicAbility(trust::AgentId agent,
+                                        trust::CharacteristicId c) const {
+  // Deterministic per-(agent, characteristic) uniform draw: hash the world
+  // seed with the pair. "If this task has two characteristics, this random
+  // number reveals the node's capability of handling each characteristic" —
+  // capability lives at the characteristic level and is shared across all
+  // tasks containing it, which is what makes inference (Eq. 4) and
+  // characteristic-wise transitivity (Eqs. 12–17) predictive.
+  std::uint64_t h = MixSeed(competence_seed_,
+                            (static_cast<std::uint64_t>(agent) << 8) | c);
+  return static_cast<double>(SplitMix64(h) >> 11) * 0x1.0p-53;
+}
+
+double SiotWorld::Competence(trust::AgentId agent, trust::TaskId task) const {
+  const trust::Task& t = catalog_.Get(task);
+  double competence = 0.0;
+  for (const auto& part : t.parts()) {
+    competence += part.weight * CharacteristicAbility(agent, part.id);
+  }
+  return competence;
+}
+
+trust::TaskId SiotWorld::SampleRequest(Rng& rng) const {
+  SIOT_CHECK(!pool_.empty());
+  return pool_[rng.NextBounded(pool_.size())];
+}
+
+std::vector<trust::TaskExperience> SiotWorld::DirectExperience(
+    trust::AgentId observer, trust::AgentId subject) const {
+  // The observer's records exist because it has delegated to (or watched)
+  // its neighbor before; the recorded trustworthiness approaches the
+  // subject's actual capability (§5.5).
+  (void)observer;
+  std::vector<trust::TaskExperience> out;
+  if (subject >= experienced_.size()) return out;
+  out.reserve(experienced_[subject].size());
+  for (trust::TaskId task : experienced_[subject]) {
+    out.push_back({task, Competence(subject, task)});
+  }
+  return out;
+}
+
+}  // namespace siot::sim

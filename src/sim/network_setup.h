@@ -1,0 +1,94 @@
+// Copyright 2026 The siot-trust Authors.
+// World-building for the §5.5 transitivity simulations: task-type pools
+// over a universe of characteristics, per-node experienced tasks, hidden
+// per-(node, task) competence, and the direct-experience trust overlay
+// ("neighboring nodes that have direct experiences with it will establish
+// the trustworthiness of this node that approaches its actual capability").
+
+#ifndef SIOT_SIM_NETWORK_SETUP_H_
+#define SIOT_SIM_NETWORK_SETUP_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/datasets.h"
+#include "graph/graph.h"
+#include "trust/task.h"
+#include "trust/transitivity.h"
+#include "trust/types.h"
+
+namespace siot::sim {
+
+/// Configuration of the §5.5 world.
+struct WorldConfig {
+  /// Total number of distinct characteristics in the network (4–7 in
+  /// Figs. 9–11).
+  std::size_t characteristic_count = 5;
+  /// Experienced tasks recorded per node ("every network node keeps the
+  /// trustworthiness records of two different tasks").
+  std::size_t tasks_per_node = 2;
+  /// Each task consists of 1..max_task_characteristics characteristics.
+  /// Random mode enumerates every such combination as the type space, so
+  /// exact-type matches (all the traditional method can use) get rarer as
+  /// the characteristic universe grows.
+  std::size_t max_task_characteristics = 2;
+};
+
+/// A fully instantiated §5.5 world over a social graph.
+class SiotWorld : public trust::TrustOverlay {
+ public:
+  /// Random mode: task types get uniformly random characteristics.
+  static SiotWorld BuildRandom(const graph::Graph& graph,
+                               const WorldConfig& config, Rng& rng);
+
+  /// Feature mode (Table 2): characteristics are real-world node
+  /// properties; each node's experienced tasks draw from its own feature
+  /// bits, so characteristic endowments are community-correlated.
+  static SiotWorld BuildFromFeatures(const graph::Graph& graph,
+                                     const std::vector<std::uint64_t>& features,
+                                     std::size_t feature_count,
+                                     const WorldConfig& config, Rng& rng);
+
+  const trust::TaskCatalog& catalog() const { return catalog_; }
+  const graph::Graph& graph() const { return *graph_; }
+
+  /// Tasks node `agent` has performed (its trustworthiness records exist
+  /// at its neighbors).
+  const std::vector<trust::TaskId>& ExperiencedTasks(
+      trust::AgentId agent) const;
+
+  /// Hidden per-characteristic ability of `agent` (U[0,1], deterministic
+  /// in the world seed).
+  double CharacteristicAbility(trust::AgentId agent,
+                               trust::CharacteristicId c) const;
+
+  /// Hidden actual competence of `agent` on `task`: the task-weighted
+  /// combination of the agent's per-characteristic abilities.
+  double Competence(trust::AgentId agent, trust::TaskId task) const;
+
+  /// Draws a delegation request: a random pool task type.
+  trust::TaskId SampleRequest(Rng& rng) const;
+
+  /// TrustOverlay: observer's records about an adjacent subject are the
+  /// subject's experienced tasks at their actual competence.
+  std::vector<trust::TaskExperience> DirectExperience(
+      trust::AgentId observer, trust::AgentId subject) const override;
+
+ private:
+  SiotWorld() = default;
+
+  /// Gets-or-creates the task type for a characteristic set.
+  trust::TaskId InternTask(const std::vector<trust::CharacteristicId>& chars);
+
+  const graph::Graph* graph_ = nullptr;
+  trust::TaskCatalog catalog_;
+  std::unordered_map<trust::CharacteristicMask, trust::TaskId> by_mask_;
+  std::vector<trust::TaskId> pool_;
+  std::vector<std::vector<trust::TaskId>> experienced_;
+  std::uint64_t competence_seed_ = 0;
+};
+
+}  // namespace siot::sim
+
+#endif  // SIOT_SIM_NETWORK_SETUP_H_

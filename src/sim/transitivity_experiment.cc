@@ -1,0 +1,99 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/transitivity_experiment.h"
+
+#include "common/macros.h"
+
+namespace siot::sim {
+
+const TransitivityMethodResult& TransitivityResult::ForMethod(
+    trust::TransitivityMethod method) const {
+  for (const auto& m : methods) {
+    if (m.method == method) return m;
+  }
+  SIOT_CHECK_MSG(false, "method not present in result");
+  return methods.front();
+}
+
+TransitivityResult RunTransitivityExperiment(
+    const graph::SocialDataset& dataset, const TransitivityConfig& config) {
+  const graph::Graph& graph = dataset.graph;
+  Rng rng(config.seed);
+
+  SiotWorld world =
+      config.use_features
+          ? SiotWorld::BuildFromFeatures(graph, dataset.features,
+                                         dataset.feature_count, config.world,
+                                         rng)
+          : SiotWorld::BuildRandom(graph, config.world, rng);
+
+  const Population population =
+      BuildPopulation(graph, config.population, rng);
+
+  // Pre-draw each trustor's request sequence so all three methods answer
+  // the SAME requests — the comparison isolates the transfer scheme.
+  std::vector<std::vector<trust::TaskId>> requests(graph.node_count());
+  for (trust::AgentId x : population.trustors) {
+    for (std::size_t r = 0; r < config.requests_per_trustor; ++r) {
+      requests[x].push_back(world.SampleRequest(rng));
+    }
+  }
+
+  TransitivityResult result;
+  result.network = dataset.network;
+  result.characteristic_count = config.world.characteristic_count;
+
+  for (const trust::TransitivityMethod method : kAllTransitivityMethods) {
+    trust::TransitivityParams params;
+    params.omega1 = config.omega1;
+    params.omega2 = config.omega2;
+    params.max_hops = config.max_hops;
+    params.trustee_eligible = [&population](trust::AgentId agent) {
+      return population.IsTrustee(agent);
+    };
+    const trust::TransitivitySearch search(graph, world.catalog(), world,
+                                           params);
+
+    TransitivityMethodResult method_result;
+    method_result.method = method;
+    Rng outcome_rng = rng.Fork(static_cast<std::uint64_t>(method) + 100);
+    std::size_t potential_sum = 0;
+    std::size_t potential_samples = 0;
+
+    for (trust::AgentId x : population.trustors) {
+      std::size_t inquired_total = 0;
+      for (const trust::TaskId request : requests[x]) {
+        const trust::Task& task = world.catalog().Get(request);
+        const trust::TransitivityResult found =
+            search.FindPotentialTrustees(x, task, method);
+        inquired_total += found.inquired_nodes;
+        potential_sum += found.trustees.size();
+        ++potential_samples;
+        if (found.trustees.empty()) {
+          method_result.tally.AddUnavailable();
+          continue;
+        }
+        // Delegate to the potential trustee with the highest transferred
+        // trustworthiness; the outcome follows its hidden competence.
+        const trust::AgentId chosen = found.trustees.front().agent;
+        const bool success =
+            outcome_rng.Bernoulli(world.Competence(chosen, request));
+        if (success) {
+          method_result.tally.AddSuccess(/*abusive=*/false);
+        } else {
+          method_result.tally.AddFailure(/*abusive=*/false);
+        }
+      }
+      method_result.inquired_per_trustor.push_back(inquired_total);
+    }
+    method_result.avg_potential_trustees =
+        potential_samples == 0
+            ? 0.0
+            : static_cast<double>(potential_sum) /
+                  static_cast<double>(potential_samples);
+    result.methods.push_back(std::move(method_result));
+  }
+  return result;
+}
+
+}  // namespace siot::sim

@@ -1,0 +1,80 @@
+// Copyright 2026 The siot-trust Authors.
+// §5.5 / Figs. 9–12 + Table 2 — transitivity of trust. Nodes keep records
+// of two experienced tasks; trustors issue delegation requests that are
+// routed by the traditional, conservative, or aggressive scheme; the
+// experiment reports success / unavailable rates, average numbers of
+// potential trustees, and search overhead (inquired nodes).
+
+#ifndef SIOT_SIM_TRANSITIVITY_EXPERIMENT_H_
+#define SIOT_SIM_TRANSITIVITY_EXPERIMENT_H_
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/datasets.h"
+#include "sim/agent.h"
+#include "sim/metrics.h"
+#include "sim/network_setup.h"
+#include "trust/transitivity.h"
+
+namespace siot::sim {
+
+/// All three §4.3 schemes, in presentation order.
+inline constexpr std::array<trust::TransitivityMethod, 3>
+    kAllTransitivityMethods = {
+        trust::TransitivityMethod::kTraditional,
+        trust::TransitivityMethod::kConservative,
+        trust::TransitivityMethod::kAggressive,
+};
+
+/// Configuration of one §5.5 run.
+struct TransitivityConfig {
+  WorldConfig world;
+  /// Recommendation gate ω1 — "preset trustworthiness with relatively high
+  /// values" (§4.3). ω1 >= 0.5 also keeps the Eq. 7 combination monotone
+  /// along the relay chain: ungated, two DIStrusted hops would combine to
+  /// high trust via the (1−a)(1−b) term.
+  double omega1 = 0.5;
+  /// Trustee gate ω2. The §5.5 simulation ranks every covered candidate
+  /// and "delegates the task to the trustee that has the highest
+  /// trustworthiness value", i.e. no terminal threshold (ω2 = 0); the
+  /// terminal fold stays monotone because the gated relay chain keeps the
+  /// accumulated value >= 0.5.
+  double omega2 = 0.0;
+  std::size_t max_hops = 5;
+  /// Delegation requests per trustor.
+  std::size_t requests_per_trustor = 3;
+  /// Table 2 mode: use node features as characteristic endowments.
+  bool use_features = false;
+  PopulationConfig population;
+  std::uint64_t seed = 1;
+};
+
+/// Per-method measurements.
+struct TransitivityMethodResult {
+  trust::TransitivityMethod method;
+  DelegationTally tally;
+  /// Mean number of potential trustees per request (Fig. 11 / Table 2).
+  double avg_potential_trustees = 0.0;
+  /// Per-trustor total inquired nodes across its requests (Fig. 12).
+  std::vector<std::size_t> inquired_per_trustor;
+};
+
+/// One network's full result.
+struct TransitivityResult {
+  graph::SocialNetwork network;
+  std::size_t characteristic_count = 0;
+  std::vector<TransitivityMethodResult> methods;
+
+  const TransitivityMethodResult& ForMethod(
+      trust::TransitivityMethod method) const;
+};
+
+/// Runs the §5.5 experiment on one dataset with the given configuration.
+TransitivityResult RunTransitivityExperiment(
+    const graph::SocialDataset& dataset, const TransitivityConfig& config);
+
+}  // namespace siot::sim
+
+#endif  // SIOT_SIM_TRANSITIVITY_EXPERIMENT_H_

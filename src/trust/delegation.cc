@@ -1,0 +1,50 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/delegation.h"
+
+namespace siot::trust {
+
+StatusOr<DelegationDecision> DecideDelegation(
+    AgentId trustor, const std::optional<OutcomeEstimates>& self_estimates,
+    const std::vector<CandidateEvaluation>& candidates,
+    SelectionStrategy strategy) {
+  if (candidates.empty() && !self_estimates.has_value()) {
+    return Status::NotFound("no candidates and no self option");
+  }
+  DelegationDecision decision;
+  if (!candidates.empty()) {
+    std::vector<OutcomeEstimates> estimates;
+    estimates.reserve(candidates.size());
+    for (const CandidateEvaluation& c : candidates) {
+      estimates.push_back(c.estimates);
+    }
+    SIOT_ASSIGN_OR_RETURN(const std::size_t best,
+                          SelectBestCandidate(estimates, strategy));
+    decision.executor = candidates[best].agent;
+    decision.best_candidate_profit =
+        ExpectedNetProfit(candidates[best].estimates);
+    decision.expected_profit = decision.best_candidate_profit;
+  }
+  if (self_estimates.has_value()) {
+    const bool delegate =
+        !candidates.empty() &&
+        ShouldDelegate(
+            // Eq. 24 compares expected net profits of the chosen candidate
+            // and of doing the task oneself.
+            [&] {
+              for (const CandidateEvaluation& c : candidates) {
+                if (c.agent == decision.executor) return c.estimates;
+              }
+              return OutcomeEstimates{};
+            }(),
+            *self_estimates);
+    if (!delegate) {
+      decision.executor = trustor;
+      decision.self_execution = true;
+      decision.expected_profit = ExpectedNetProfit(*self_estimates);
+    }
+  }
+  return decision;
+}
+
+}  // namespace siot::trust

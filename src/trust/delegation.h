@@ -1,0 +1,48 @@
+// Copyright 2026 The siot-trust Authors.
+// Delegation decision logic (paper §4.4, Eqs. 23–24): rank candidate
+// trustees by the configured strategy and optionally compare the winner
+// against executing the task oneself.
+
+#ifndef SIOT_TRUST_DELEGATION_H_
+#define SIOT_TRUST_DELEGATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "trust/types.h"
+#include "trust/update.h"
+
+namespace siot::trust {
+
+/// A candidate trustee with the trustor's outcome estimates for it.
+struct CandidateEvaluation {
+  AgentId agent = kNoAgent;
+  OutcomeEstimates estimates;
+};
+
+/// Result of a delegation decision.
+struct DelegationDecision {
+  /// Chosen executor: a candidate agent, or the trustor itself when
+  /// self-execution wins (Eq. 24).
+  AgentId executor = kNoAgent;
+  bool self_execution = false;
+  /// Expected net profit of the chosen option.
+  double expected_profit = 0.0;
+  /// Expected net profit of the best candidate (even if self executes).
+  double best_candidate_profit = 0.0;
+};
+
+/// Ranks `candidates` by `strategy` (Eq. 23 for kMaxNetProfit) and, when
+/// `self_estimates` is provided, applies the Eq. 24 comparison: the task is
+/// delegated only if the best candidate's expected net profit strictly
+/// exceeds the trustor's own. Errors (NotFound) when there are no
+/// candidates and no self option.
+StatusOr<DelegationDecision> DecideDelegation(
+    AgentId trustor, const std::optional<OutcomeEstimates>& self_estimates,
+    const std::vector<CandidateEvaluation>& candidates,
+    SelectionStrategy strategy);
+
+}  // namespace siot::trust
+
+#endif  // SIOT_TRUST_DELEGATION_H_

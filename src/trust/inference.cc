@@ -1,0 +1,73 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/inference.h"
+
+#include "common/string_util.h"
+
+namespace siot::trust {
+
+PartialInference PartialInfer(
+    const TaskCatalog& catalog, const Task& target,
+    const std::vector<TaskExperience>& experiences) {
+  PartialInference out;
+  out.per_characteristic.assign(target.parts().size(), 0.0);
+
+  double covered_weight = 0.0;
+  double combined = 0.0;
+  for (std::size_t i = 0; i < target.parts().size(); ++i) {
+    const auto& part = target.parts()[i];
+    // Inner sum of Eq. 4: weighted average of TW over experienced tasks
+    // containing this characteristic, weighted by the characteristic's
+    // weight inside each experienced task.
+    double weight_sum = 0.0;
+    double weighted_tw = 0.0;
+    for (const TaskExperience& exp : experiences) {
+      const Task& experienced = catalog.Get(exp.task);
+      const double w = experienced.WeightOf(part.id);
+      if (w <= 0.0) continue;
+      weight_sum += w;
+      weighted_tw += w * exp.trustworthiness;
+    }
+    if (weight_sum > 0.0) {
+      const double estimate = weighted_tw / weight_sum;
+      out.per_characteristic[i] = estimate;
+      out.covered |= 1ull << part.id;
+      covered_weight += part.weight;
+      combined += part.weight * estimate;
+    }
+  }
+  out.complete = target.CoveredBy(out.covered);
+  out.trustworthiness =
+      covered_weight > 0.0 ? combined / covered_weight : 0.0;
+  return out;
+}
+
+StatusOr<double> InferTrustworthiness(
+    const TaskCatalog& catalog, const Task& target,
+    const std::vector<TaskExperience>& experiences) {
+  const PartialInference partial =
+      PartialInfer(catalog, target, experiences);
+  if (!partial.complete) {
+    return Status::FailedPrecondition(StrFormat(
+        "task '%s': characteristics 0x%llx not covered by experience",
+        target.name().c_str(),
+        static_cast<unsigned long long>(target.mask() & ~partial.covered)));
+  }
+  return partial.trustworthiness;
+}
+
+StatusOr<double> InferFromStore(const TaskCatalog& catalog,
+                                const TrustStore& store,
+                                const Normalizer& normalizer, AgentId trustor,
+                                AgentId trustee, const Task& target) {
+  std::vector<TaskExperience> experiences;
+  for (TaskId task : store.ExperiencedTasks(trustor, trustee)) {
+    const auto tw = store.Trustworthiness(trustor, trustee, task, normalizer);
+    if (tw.has_value()) {
+      experiences.push_back({task, *tw});
+    }
+  }
+  return InferTrustworthiness(catalog, target, experiences);
+}
+
+}  // namespace siot::trust

@@ -1,0 +1,67 @@
+// Copyright 2026 The siot-trust Authors.
+// Inferential transfer of trust with analogous tasks (paper §4.2,
+// Eqs. 2–4). The trustworthiness of an unseen task τ' is inferred from
+// experienced tasks {τ_k} that share characteristics:
+//
+//   TW(τ') = Σ_i w_i(τ') · [ Σ_k w_j(τ_k)·TW(τ_k) / Σ_k w_j(τ_k) ]
+//
+// where the inner sum runs over experienced tasks containing the same
+// characteristic a_i(τ') (Eq. 4). Inference requires every characteristic
+// of τ' to be covered by experience (the ∀i condition above Eq. 2);
+// PartialInfer relaxes this for the aggressive-transitivity path algebra
+// (§4.3), reporting which characteristics were covered.
+
+#ifndef SIOT_TRUST_INFERENCE_H_
+#define SIOT_TRUST_INFERENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "trust/task.h"
+#include "trust/trust_store.h"
+#include "trust/types.h"
+
+namespace siot::trust {
+
+/// One experienced task with its trustworthiness value.
+struct TaskExperience {
+  TaskId task = kNoTask;
+  double trustworthiness = 0.0;
+};
+
+/// Result of a partial inference.
+struct PartialInference {
+  /// Characteristics of the target task that were covered by experience.
+  CharacteristicMask covered = 0;
+  /// Per-covered-characteristic inferred trustworthiness, aligned with the
+  /// target task's parts() order (entries for uncovered parts are 0).
+  std::vector<double> per_characteristic;
+  /// Weighted combination over the covered characteristics only, with the
+  /// weights renormalized to the covered subset. 0 if nothing is covered.
+  double trustworthiness = 0.0;
+  /// True if every characteristic of the target was covered.
+  bool complete = false;
+};
+
+/// Eq. 4 over explicit experiences. Errors (FailedPrecondition) if some
+/// characteristic of `target` is not covered by any experienced task.
+StatusOr<double> InferTrustworthiness(
+    const TaskCatalog& catalog, const Task& target,
+    const std::vector<TaskExperience>& experiences);
+
+/// Like InferTrustworthiness but never fails: covers what it can and
+/// reports coverage. Used by aggressive transitivity (Eqs. 12–17).
+PartialInference PartialInfer(const TaskCatalog& catalog, const Task& target,
+                              const std::vector<TaskExperience>& experiences);
+
+/// Convenience: gathers trustor→trustee experiences from the store
+/// (Eq. 18 trustworthiness per experienced task) and applies Eq. 4 to
+/// `target`. Errors if no experience covers some characteristic.
+StatusOr<double> InferFromStore(const TaskCatalog& catalog,
+                                const TrustStore& store,
+                                const Normalizer& normalizer, AgentId trustor,
+                                AgentId trustee, const Task& target);
+
+}  // namespace siot::trust
+
+#endif  // SIOT_TRUST_INFERENCE_H_

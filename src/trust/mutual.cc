@@ -1,0 +1,80 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/mutual.h"
+
+#include <algorithm>
+
+namespace siot::trust {
+
+void ReverseEvaluator::RecordUsage(AgentId trustee, AgentId trustor,
+                                   bool abusive) {
+  UsageHistory& h = history_[PairKey{trustee, trustor}];
+  if (abusive) {
+    ++h.abusive_uses;
+  } else {
+    ++h.responsive_uses;
+  }
+}
+
+const UsageHistory* ReverseEvaluator::FindHistory(AgentId trustee,
+                                                  AgentId trustor) const {
+  const auto it = history_.find(PairKey{trustee, trustor});
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+double ReverseEvaluator::ReverseTrustworthiness(AgentId trustee,
+                                                AgentId trustor) const {
+  const UsageHistory* h = FindHistory(trustee, trustor);
+  const double responsive = h ? static_cast<double>(h->responsive_uses) : 0.0;
+  const double total = h ? static_cast<double>(h->total()) : 0.0;
+  // Laplace smoothing: unknown trustors start at 0.5 and converge to the
+  // empirical responsible-use fraction as history accumulates.
+  return (responsive + 1.0) / (total + 2.0);
+}
+
+void ReverseEvaluator::SetThreshold(AgentId trustee, TaskId task,
+                                    double theta) {
+  thresholds_[ThresholdKey{trustee, task}] = theta;
+}
+
+double ReverseEvaluator::Threshold(AgentId trustee, TaskId task) const {
+  if (const auto it = thresholds_.find(ThresholdKey{trustee, task});
+      it != thresholds_.end()) {
+    return it->second;
+  }
+  if (const auto it = thresholds_.find(ThresholdKey{trustee, kNoTask});
+      it != thresholds_.end()) {
+    return it->second;
+  }
+  return default_threshold_;
+}
+
+bool ReverseEvaluator::AcceptsDelegation(AgentId trustee, AgentId trustor,
+                                         TaskId task) const {
+  return ReverseTrustworthiness(trustee, trustor) >=
+         Threshold(trustee, task);
+}
+
+MutualSelection SelectTrusteeMutually(
+    const ReverseEvaluator& evaluator, AgentId trustor, TaskId task,
+    std::vector<ScoredCandidate> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              if (a.trustworthiness != b.trustworthiness) {
+                return a.trustworthiness > b.trustworthiness;
+              }
+              return a.agent < b.agent;
+            });
+  MutualSelection out;
+  for (const ScoredCandidate& candidate : candidates) {
+    if (evaluator.AcceptsDelegation(candidate.agent, trustor, task)) {
+      out.trustee = candidate.agent;
+      out.trustworthiness = candidate.trustworthiness;
+      return out;
+    }
+    out.refusals.push_back(candidate.agent);
+  }
+  return out;  // trustee == kNoAgent: unavailable
+}
+
+}  // namespace siot::trust

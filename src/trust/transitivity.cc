@@ -1,0 +1,292 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/transitivity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace siot::trust {
+
+double ChainProductTransitivity(const std::vector<double>& values) {
+  double product = 1.0;
+  for (double v : values) product *= v;
+  return product;
+}
+
+double TwoSidedCombine(double a, double b) {
+  // Eq. 7: a·b + (1−a)(1−b) = 1 − a − b + 2ab.
+  return 1.0 - a - b + 2.0 * a * b;
+}
+
+double ChainTwoSidedTransitivity(const std::vector<double>& values) {
+  SIOT_CHECK(!values.empty());
+  double acc = values.front();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    acc = TwoSidedCombine(acc, values[i]);
+  }
+  return acc;
+}
+
+std::string_view TransitivityMethodName(TransitivityMethod method) {
+  switch (method) {
+    case TransitivityMethod::kTraditional:
+      return "Traditional";
+    case TransitivityMethod::kConservative:
+      return "Conservative";
+    case TransitivityMethod::kAggressive:
+      return "Aggressive";
+  }
+  return "?";
+}
+
+std::vector<TaskExperience> StoreTrustOverlay::DirectExperience(
+    AgentId observer, AgentId subject) const {
+  std::vector<TaskExperience> out;
+  for (TaskId task : store_.ExperiencedTasks(observer, subject)) {
+    const auto tw = store_.Trustworthiness(observer, subject, task,
+                                           normalizer_);
+    if (tw.has_value()) out.push_back({task, *tw});
+  }
+  return out;
+}
+
+TransitivitySearch::TransitivitySearch(const graph::Graph& graph,
+                                       const TaskCatalog& catalog,
+                                       const TrustOverlay& overlay,
+                                       TransitivityParams params)
+    : graph_(graph), catalog_(catalog), overlay_(overlay),
+      params_(std::move(params)) {
+  // The hop-relaxation below takes per-node maxima, which is exactly
+  // optimal when every propagated hop value is >= 0.5 (Eq. 7 is then
+  // monotone in its accumulated argument) — guaranteed when ω1 >= 0.5.
+  // Below 0.5 the search still finds exactly the right set of potential
+  // trustees (coverage and gating are unaffected); only the reported
+  // trustworthiness magnitudes become a greedy approximation.
+  SIOT_CHECK_MSG(params_.omega1 >= 0.0 && params_.omega1 <= 1.0,
+                 "omega1=%f must be in [0, 1]", params_.omega1);
+  SIOT_CHECK_MSG(params_.omega2 >= 0.0 && params_.omega2 <= 1.0,
+                 "omega2=%f must be in [0, 1]", params_.omega2);
+  SIOT_CHECK(params_.max_hops >= 1);
+}
+
+TransitivityResult TransitivitySearch::FindPotentialTrustees(
+    AgentId trustor, const Task& task, TransitivityMethod method) const {
+  SIOT_CHECK(trustor < graph_.node_count());
+  switch (method) {
+    case TransitivityMethod::kTraditional:
+      return SearchTraditional(trustor, task);
+    case TransitivityMethod::kConservative:
+      return SearchCharacteristicBased(trustor, task, /*conservative=*/true);
+    case TransitivityMethod::kAggressive:
+      return SearchCharacteristicBased(trustor, task,
+                                       /*conservative=*/false);
+  }
+  return {};
+}
+
+namespace {
+
+constexpr double kUnset = -1.0;
+
+/// Per-directed-hop trust information for one target task.
+struct HopInfo {
+  /// Per-task-characteristic inferred value (Eq. 4 inner average);
+  /// kUnset where the observer has no covering experience.
+  std::vector<double> per_characteristic;
+  /// True if every characteristic of the task is covered on this hop.
+  bool complete = false;
+  /// Trustworthiness of the exact task, if the observer has that record.
+  double exact_task = kUnset;
+};
+
+}  // namespace
+
+TransitivityResult TransitivitySearch::SearchTraditional(
+    AgentId trustor, const Task& task) const {
+  const std::size_t n = graph_.node_count();
+  // best[v]: best Eq. 5 path product from trustor to v over viable hops
+  // (every hop holds a record for the exact task).
+  std::vector<double> best(n, kUnset);
+  std::vector<double> next(n, kUnset);
+  best[trustor] = 1.0;
+
+  auto exact_tw = [&](AgentId u, AgentId v) -> double {
+    for (const TaskExperience& exp : overlay_.DirectExperience(u, v)) {
+      if (exp.task == task.id()) return exp.trustworthiness;
+    }
+    return kUnset;
+  };
+
+  std::vector<bool> reached(n, false);
+  for (std::size_t hop = 0; hop < params_.max_hops; ++hop) {
+    next = best;
+    bool changed = false;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (best[u] == kUnset) continue;
+      for (graph::NodeId v : graph_.Neighbors(u)) {
+        if (v == trustor) continue;
+        const double t = exact_tw(u, v);
+        if (t <= 0.0) continue;  // Eq. 5: positive trust transfers freely
+        const double candidate = best[u] * t;
+        reached[v] = true;
+        if (candidate > next[v]) {
+          next[v] = candidate;
+          changed = true;
+        }
+      }
+    }
+    best.swap(next);
+    if (!changed) break;
+  }
+
+  TransitivityResult result;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (v == trustor) continue;
+    if (reached[v]) ++result.inquired_nodes;
+    if (best[v] == kUnset) continue;
+    if (params_.trustee_eligible && !params_.trustee_eligible(v)) continue;
+    PotentialTrustee trustee;
+    trustee.agent = v;
+    trustee.trustworthiness = best[v];
+    trustee.per_characteristic.assign(task.parts().size(), best[v]);
+    result.trustees.push_back(std::move(trustee));
+  }
+  std::sort(result.trustees.begin(), result.trustees.end(),
+            [](const PotentialTrustee& a, const PotentialTrustee& b) {
+              if (a.trustworthiness != b.trustworthiness) {
+                return a.trustworthiness > b.trustworthiness;
+              }
+              return a.agent < b.agent;
+            });
+  return result;
+}
+
+TransitivityResult TransitivitySearch::SearchCharacteristicBased(
+    AgentId trustor, const Task& task, bool conservative) const {
+  const std::size_t n = graph_.node_count();
+  const std::size_t parts = task.parts().size();
+
+  // Lazy per-directed-hop info cache.
+  std::unordered_map<std::uint64_t, HopInfo> hop_cache;
+  auto hop_info = [&](AgentId u, AgentId v) -> const HopInfo& {
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    auto it = hop_cache.find(key);
+    if (it != hop_cache.end()) return it->second;
+    HopInfo info;
+    const auto experiences = overlay_.DirectExperience(u, v);
+    const PartialInference inference =
+        PartialInfer(catalog_, task, experiences);
+    info.per_characteristic.assign(parts, kUnset);
+    for (std::size_t i = 0; i < parts; ++i) {
+      const CharacteristicId c = task.parts()[i].id;
+      if ((inference.covered >> c) & 1ull) {
+        info.per_characteristic[i] = inference.per_characteristic[i];
+      }
+    }
+    info.complete = inference.complete;
+    return hop_cache.emplace(key, std::move(info)).first->second;
+  };
+
+  // reach[v][i]: best Eq. 7 fold of characteristic i carried to v via
+  // recommendation hops (each hop value >= omega1). trustee_val[v][i]: best
+  // value whose FINAL hop satisfies the trustee gate omega2.
+  std::vector<std::vector<double>> reach(n,
+                                         std::vector<double>(parts, kUnset));
+  std::vector<std::vector<double>> trustee_val(
+      n, std::vector<double>(parts, kUnset));
+  std::vector<bool> reached(n, false);
+
+  // Identity: characteristics start at the trustor un-attenuated.
+  // (Represented implicitly: a first hop's value is the hop value itself.)
+  std::vector<std::vector<double>> next = reach;
+  for (std::size_t hop = 0; hop < params_.max_hops; ++hop) {
+    next = reach;
+    bool changed = false;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const bool u_is_source = (u == trustor);
+      if (!u_is_source) {
+        bool u_active = false;
+        for (std::size_t i = 0; i < parts; ++i) {
+          if (reach[u][i] != kUnset) {
+            u_active = true;
+            break;
+          }
+        }
+        if (!u_active) continue;
+      }
+      for (graph::NodeId v : graph_.Neighbors(u)) {
+        if (v == trustor) continue;
+        const HopInfo& info = hop_info(u, v);
+        // Conservative transitivity requires every hop to cover the whole
+        // task (Eq. 8); aggressive lets any covered characteristic hop.
+        if (conservative && !info.complete) continue;
+        bool hop_useful = false;
+        for (std::size_t i = 0; i < parts; ++i) {
+          const double t = info.per_characteristic[i];
+          if (t == kUnset) continue;
+          const double upstream = u_is_source ? kUnset : reach[u][i];
+          if (!u_is_source && upstream == kUnset) continue;
+          // Candidate value of characteristic i at v through u.
+          const double via =
+              u_is_source ? t : TwoSidedCombine(upstream, t);
+          // Recommendation propagation: gate by omega1.
+          if (t >= params_.omega1) {
+            hop_useful = true;
+            if (via > next[v][i]) {
+              next[v][i] = via;
+              changed = true;
+            }
+          }
+          // Trustee terminal hop: gate by omega2.
+          if (t >= params_.omega2) {
+            hop_useful = true;
+            if (via > trustee_val[v][i]) trustee_val[v][i] = via;
+          }
+        }
+        if (hop_useful) reached[v] = true;
+      }
+    }
+    reach.swap(next);
+    if (!changed) break;
+  }
+
+  TransitivityResult result;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (v == trustor) continue;
+    if (reached[v]) ++result.inquired_nodes;
+    // Trustee condition: every characteristic arrives through a terminal
+    // hop meeting omega2 (conservative paths additionally required full
+    // coverage on every hop, enforced above).
+    bool complete = true;
+    for (std::size_t i = 0; i < parts; ++i) {
+      if (trustee_val[v][i] == kUnset) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+    if (params_.trustee_eligible && !params_.trustee_eligible(v)) continue;
+    PotentialTrustee trustee;
+    trustee.agent = v;
+    trustee.per_characteristic = trustee_val[v];
+    // Eq. 17: weight-combine the per-characteristic assessments.
+    double combined = 0.0;
+    for (std::size_t i = 0; i < parts; ++i) {
+      combined += task.parts()[i].weight * trustee_val[v][i];
+    }
+    trustee.trustworthiness = combined;
+    result.trustees.push_back(std::move(trustee));
+  }
+  std::sort(result.trustees.begin(), result.trustees.end(),
+            [](const PotentialTrustee& a, const PotentialTrustee& b) {
+              if (a.trustworthiness != b.trustworthiness) {
+                return a.trustworthiness > b.trustworthiness;
+              }
+              return a.agent < b.agent;
+            });
+  return result;
+}
+
+}  // namespace siot::trust

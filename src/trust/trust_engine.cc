@@ -1,0 +1,83 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/trust_engine.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace siot::trust {
+
+TrustEngine::TrustEngine(TrustEngineConfig config)
+    : config_(config),
+      normalizer_(config.normalization, config.value_bound),
+      environment_(1.0) {
+  store_.SetDefaultEstimates(config_.initial_estimates);
+  reverse_evaluator_.SetDefaultThreshold(config_.default_theta);
+}
+
+double TrustEngine::PreEvaluate(AgentId trustor, AgentId trustee,
+                                TaskId task) const {
+  if (const auto direct = store_.Trustworthiness(trustor, trustee, task,
+                                                 normalizer_);
+      direct.has_value()) {
+    return *direct;
+  }
+  // Inferential transfer from analogous tasks (Eq. 4).
+  const auto inferred = InferFromStore(catalog_, store_, normalizer_,
+                                       trustor, trustee,
+                                       catalog_.Get(task));
+  if (inferred.ok()) return inferred.value();
+  // No covering experience: fall back to the first-contact estimates.
+  return TrustworthinessFromEstimates(config_.initial_estimates,
+                                      normalizer_);
+}
+
+DelegationRequestResult TrustEngine::RequestDelegation(
+    AgentId trustor, TaskId task, const std::vector<AgentId>& candidates) {
+  DelegationRequestResult result;
+  std::vector<ScoredCandidate> scored;
+  scored.reserve(candidates.size());
+  for (AgentId candidate : candidates) {
+    if (candidate == trustor) continue;
+    scored.push_back({candidate, PreEvaluate(trustor, candidate, task)});
+  }
+  const MutualSelection selection =
+      SelectTrusteeMutually(reverse_evaluator_, trustor, task,
+                            std::move(scored));
+  result.refusals = selection.refusals;
+  if (selection.trustee == kNoAgent) {
+    result.unavailable = true;
+    return result;
+  }
+  result.trustee = selection.trustee;
+  result.trustworthiness = selection.trustworthiness;
+  return result;
+}
+
+void TrustEngine::ReportOutcome(AgentId trustor, AgentId trustee,
+                                TaskId task,
+                                const DelegationOutcome& outcome,
+                                bool trustor_was_abusive) {
+  // Trustor-side post-evaluation of the trustee.
+  TrustRecord& record = store_.GetOrCreate(trustor, trustee, task);
+  if (config_.environment_aware) {
+    const double env = environment_.ChainIndicator(
+        trustor, trustee, {}, config_.environment_aggregation);
+    record.estimates = UpdateEstimatesWithEnvironment(
+        record.estimates, outcome, config_.beta, env);
+  } else {
+    record.estimates =
+        UpdateEstimates(record.estimates, outcome, config_.beta);
+  }
+  ++record.observations;
+  // Trustee-side post-evaluation of the trustor (usage pattern record).
+  reverse_evaluator_.RecordUsage(trustee, trustor, trustor_was_abusive);
+}
+
+std::optional<double> TrustEngine::DirectTrustworthiness(
+    AgentId trustor, AgentId trustee, TaskId task) const {
+  return store_.Trustworthiness(trustor, trustee, task, normalizer_);
+}
+
+}  // namespace siot::trust

@@ -1,0 +1,116 @@
+// Copyright 2026 The siot-trust Authors.
+// TrustEngine: the facade tying the whole §3 trust process together —
+// pre-evaluation (direct records, falling back to characteristic inference),
+// mutual selection with reverse evaluation, the delegation decision, and
+// environment-aware post-evaluation of both sides.
+//
+// This is the public entry point example applications use; the individual
+// mechanisms remain available as standalone components for simulations that
+// need to isolate one clarified feature at a time (as the paper's §5 does).
+
+#ifndef SIOT_TRUST_TRUST_ENGINE_H_
+#define SIOT_TRUST_TRUST_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trust/delegation.h"
+#include "trust/environment.h"
+#include "trust/inference.h"
+#include "trust/mutual.h"
+#include "trust/task.h"
+#include "trust/trust_store.h"
+#include "trust/types.h"
+#include "trust/update.h"
+
+namespace siot::trust {
+
+/// Engine configuration.
+struct TrustEngineConfig {
+  /// Normalization of Eq. 18 trustworthiness values.
+  NormalizationRange normalization = NormalizationRange::kUnit;
+  /// Upper bound of gain/damage/cost values (scales the normalizer).
+  double value_bound = 1.0;
+  /// Forgetting factors β for Eqs. 19–22 / 25–28.
+  ForgettingFactors beta = ForgettingFactors::Uniform(0.1);
+  /// Candidate ranking strategy (Eq. 23 by default).
+  SelectionStrategy strategy = SelectionStrategy::kMaxNetProfit;
+  /// Default reverse-evaluation threshold θ for every trustee.
+  double default_theta = 0.0;
+  /// Estimates assigned on first contact.
+  OutcomeEstimates initial_estimates;
+  /// Remove environment influence from post-evaluations (Eqs. 25–29).
+  bool environment_aware = true;
+  EnvironmentAggregation environment_aggregation =
+      EnvironmentAggregation::kMin;
+};
+
+/// Outcome of TrustEngine::RequestDelegation.
+struct DelegationRequestResult {
+  /// Chosen trustee; kNoAgent when no candidate was available/accepting.
+  AgentId trustee = kNoAgent;
+  /// True when every candidate refused in the reverse evaluation.
+  bool unavailable = false;
+  /// Forward trustworthiness of the chosen trustee (Eq. 18 / inference).
+  double trustworthiness = 0.0;
+  /// Candidates that refused the delegation (reverse evaluation).
+  std::vector<AgentId> refusals;
+};
+
+/// Facade over the trust model; see file comment.
+class TrustEngine {
+ public:
+  explicit TrustEngine(TrustEngineConfig config = {});
+
+  /// The task catalog (register task types here).
+  TaskCatalog& catalog() { return catalog_; }
+  const TaskCatalog& catalog() const { return catalog_; }
+
+  /// Component access for advanced use.
+  TrustStore& store() { return store_; }
+  const TrustStore& store() const { return store_; }
+  ReverseEvaluator& reverse_evaluator() { return reverse_evaluator_; }
+  EnvironmentModel& environment() { return environment_; }
+  const TrustEngineConfig& config() const { return config_; }
+  const Normalizer& normalizer() const { return normalizer_; }
+
+  /// Pre-evaluation TW_X←Y(τ): the direct record if present, else
+  /// characteristic inference from X's other experience with Y (Eq. 4),
+  /// else the trustworthiness of the configured initial estimates.
+  double PreEvaluate(AgentId trustor, AgentId trustee, TaskId task) const;
+
+  /// Full Eq. 1 / Fig. 2 delegation request: pre-evaluates `candidates`,
+  /// ranks them (strategy), and walks them through the candidates' reverse
+  /// evaluations until one accepts.
+  DelegationRequestResult RequestDelegation(
+      AgentId trustor, TaskId task, const std::vector<AgentId>& candidates);
+
+  /// Post-evaluation after the action (both directions):
+  ///  * trustor updates its estimates of the trustee from `outcome`
+  ///    (environment-aware when configured, Eqs. 25–28);
+  ///  * trustee records whether the trustor used its resources abusively
+  ///    (feeds future reverse evaluations).
+  void ReportOutcome(AgentId trustor, AgentId trustee, TaskId task,
+                     const DelegationOutcome& outcome,
+                     bool trustor_was_abusive = false);
+
+  /// Current Eq. 18 trustworthiness from the stored record (no inference);
+  /// nullopt without direct experience.
+  std::optional<double> DirectTrustworthiness(AgentId trustor,
+                                              AgentId trustee,
+                                              TaskId task) const;
+
+ private:
+  TrustEngineConfig config_;
+  Normalizer normalizer_;
+  TaskCatalog catalog_;
+  TrustStore store_;
+  ReverseEvaluator reverse_evaluator_;
+  EnvironmentModel environment_;
+};
+
+}  // namespace siot::trust
+
+#endif  // SIOT_TRUST_TRUST_ENGINE_H_

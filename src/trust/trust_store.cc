@@ -1,0 +1,78 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/trust_store.h"
+
+#include <algorithm>
+
+namespace siot::trust {
+
+std::optional<TrustRecord> TrustStore::Find(AgentId trustor, AgentId trustee,
+                                            TaskId task) const {
+  const auto it = records_.find(TrustKey{trustor, trustee, task});
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool TrustStore::Has(AgentId trustor, AgentId trustee, TaskId task) const {
+  return records_.contains(TrustKey{trustor, trustee, task});
+}
+
+TrustRecord& TrustStore::GetOrCreate(AgentId trustor, AgentId trustee,
+                                     TaskId task) {
+  auto [it, inserted] = records_.try_emplace(
+      TrustKey{trustor, trustee, task}, TrustRecord{default_estimates_, 0});
+  return it->second;
+}
+
+void TrustStore::Put(AgentId trustor, AgentId trustee, TaskId task,
+                     const OutcomeEstimates& estimates) {
+  records_[TrustKey{trustor, trustee, task}] = TrustRecord{estimates, 0};
+}
+
+const OutcomeEstimates& TrustStore::RecordOutcome(
+    AgentId trustor, AgentId trustee, TaskId task,
+    const DelegationOutcome& outcome, const ForgettingFactors& beta) {
+  TrustRecord& record = GetOrCreate(trustor, trustee, task);
+  record.estimates = UpdateEstimates(record.estimates, outcome, beta);
+  ++record.observations;
+  return record.estimates;
+}
+
+std::vector<TaskId> TrustStore::ExperiencedTasks(AgentId trustor,
+                                                 AgentId trustee) const {
+  std::vector<TaskId> tasks;
+  for (const auto& [key, record] : records_) {
+    if (key.trustor == trustor && key.trustee == trustee) {
+      tasks.push_back(key.task);
+    }
+  }
+  std::sort(tasks.begin(), tasks.end());
+  return tasks;
+}
+
+std::vector<std::pair<TrustKey, TrustRecord>> TrustStore::AllRecords()
+    const {
+  std::vector<std::pair<TrustKey, TrustRecord>> out(records_.begin(),
+                                                    records_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.trustor != b.first.trustor) {
+                return a.first.trustor < b.first.trustor;
+              }
+              if (a.first.trustee != b.first.trustee) {
+                return a.first.trustee < b.first.trustee;
+              }
+              return a.first.task < b.first.task;
+            });
+  return out;
+}
+
+std::optional<double> TrustStore::Trustworthiness(
+    AgentId trustor, AgentId trustee, TaskId task,
+    const Normalizer& normalizer) const {
+  const auto record = Find(trustor, trustee, task);
+  if (!record.has_value()) return std::nullopt;
+  return TrustworthinessFromEstimates(record->estimates, normalizer);
+}
+
+}  // namespace siot::trust

@@ -1,0 +1,109 @@
+// Copyright 2026 The siot-trust Authors.
+// Storage of directed trust records. A record holds the four outcome
+// estimates (Ŝ, Ĝ, D̂, Ĉ) of one trustor toward one trustee for one task
+// type, plus bookkeeping (observation count). The store also answers
+// per-characteristic queries used by the inference function (Eqs. 2–4) and
+// by the transitivity search (§4.3).
+
+#ifndef SIOT_TRUST_TRUST_STORE_H_
+#define SIOT_TRUST_TRUST_STORE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "trust/task.h"
+#include "trust/types.h"
+#include "trust/update.h"
+
+namespace siot::trust {
+
+/// One directed trust record trustor → trustee for a task type.
+struct TrustRecord {
+  OutcomeEstimates estimates;
+  /// Number of delegation outcomes folded into the estimates.
+  std::size_t observations = 0;
+};
+
+/// Key of a directed record.
+struct TrustKey {
+  AgentId trustor = kNoAgent;
+  AgentId trustee = kNoAgent;
+  TaskId task = kNoTask;
+
+  bool operator==(const TrustKey&) const = default;
+};
+
+struct TrustKeyHash {
+  std::size_t operator()(const TrustKey& k) const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    };
+    mix(k.trustor);
+    mix(k.trustee);
+    mix(k.task);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Directed trust-record store.
+class TrustStore {
+ public:
+  /// Initial estimates for first contact (defaults per OutcomeEstimates).
+  void SetDefaultEstimates(const OutcomeEstimates& estimates) {
+    default_estimates_ = estimates;
+  }
+  const OutcomeEstimates& default_estimates() const {
+    return default_estimates_;
+  }
+
+  /// Looks up a record; nullopt if the trustor has no experience with this
+  /// trustee on this task.
+  std::optional<TrustRecord> Find(AgentId trustor, AgentId trustee,
+                                  TaskId task) const;
+
+  /// True if a record exists.
+  bool Has(AgentId trustor, AgentId trustee, TaskId task) const;
+
+  /// Returns the record, creating it from the default estimates if absent.
+  TrustRecord& GetOrCreate(AgentId trustor, AgentId trustee, TaskId task);
+
+  /// Overwrites (or creates) a record's estimates.
+  void Put(AgentId trustor, AgentId trustee, TaskId task,
+           const OutcomeEstimates& estimates);
+
+  /// Applies one delegation outcome via Eqs. 19–22 and increments the
+  /// observation count. Creates the record from defaults if absent.
+  /// Returns the updated estimates.
+  const OutcomeEstimates& RecordOutcome(AgentId trustor, AgentId trustee,
+                                        TaskId task,
+                                        const DelegationOutcome& outcome,
+                                        const ForgettingFactors& beta);
+
+  /// All task ids for which `trustor` has a record about `trustee`.
+  std::vector<TaskId> ExperiencedTasks(AgentId trustor,
+                                       AgentId trustee) const;
+
+  /// Trustworthiness (Eq. 18) of trustee for task as seen by trustor, or
+  /// nullopt without a record.
+  std::optional<double> Trustworthiness(AgentId trustor, AgentId trustee,
+                                        TaskId task,
+                                        const Normalizer& normalizer) const;
+
+  std::size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  /// All records sorted by (trustor, trustee, task) — canonical order for
+  /// serialization and inspection.
+  std::vector<std::pair<TrustKey, TrustRecord>> AllRecords() const;
+
+ private:
+  std::unordered_map<TrustKey, TrustRecord, TrustKeyHash> records_;
+  OutcomeEstimates default_estimates_;
+};
+
+}  // namespace siot::trust
+
+#endif  // SIOT_TRUST_TRUST_STORE_H_

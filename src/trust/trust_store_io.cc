@@ -1,0 +1,103 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/trust_store_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace siot::trust {
+
+std::string SerializeTrustStore(const TrustStore& store) {
+  std::string out = StrFormat("# siot trust store: %zu records\n",
+                              store.size());
+  for (const auto& [key, record] : store.AllRecords()) {
+    out += StrFormat("record %u %u %u %.17g %.17g %.17g %.17g %zu\n",
+                     key.trustor, key.trustee, key.task,
+                     record.estimates.success_rate, record.estimates.gain,
+                     record.estimates.damage, record.estimates.cost,
+                     record.observations);
+  }
+  return out;
+}
+
+Status DeserializeTrustStore(std::string_view text, TrustStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null store");
+  }
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    ++line_no;
+    std::string_view line = text.substr(start, i - start);
+    start = i + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields =
+        Split(std::string(line), ' ');
+    if (fields.empty()) continue;
+    if (fields[0] != "record") {
+      return Status::Corruption(
+          StrFormat("trust store line %zu: unknown directive '%s'",
+                    line_no, fields[0].c_str()));
+    }
+    if (fields.size() != 9) {
+      return Status::Corruption(StrFormat(
+          "trust store line %zu: expected 9 fields, got %zu", line_no,
+          fields.size()));
+    }
+    auto parse_id = [&](const std::string& s) { return ParseInt(s); };
+    auto trustor = parse_id(fields[1]);
+    auto trustee = parse_id(fields[2]);
+    auto task = parse_id(fields[3]);
+    auto s = ParseDouble(fields[4]);
+    auto g = ParseDouble(fields[5]);
+    auto d = ParseDouble(fields[6]);
+    auto c = ParseDouble(fields[7]);
+    auto obs = ParseInt(fields[8]);
+    for (const bool ok : {trustor.ok(), trustee.ok(), task.ok(), s.ok(),
+                          g.ok(), d.ok(), c.ok(), obs.ok()}) {
+      if (!ok) {
+        return Status::Corruption(
+            StrFormat("trust store line %zu: malformed field", line_no));
+      }
+    }
+    if (trustor.value() < 0 || trustee.value() < 0 || task.value() < 0 ||
+        obs.value() < 0) {
+      return Status::Corruption(
+          StrFormat("trust store line %zu: negative id", line_no));
+    }
+    OutcomeEstimates estimates{s.value(), g.value(), d.value(), c.value()};
+    store->Put(static_cast<AgentId>(trustor.value()),
+               static_cast<AgentId>(trustee.value()),
+               static_cast<TaskId>(task.value()), estimates);
+    TrustRecord& record = store->GetOrCreate(
+        static_cast<AgentId>(trustor.value()),
+        static_cast<AgentId>(trustee.value()),
+        static_cast<TaskId>(task.value()));
+    record.observations = static_cast<std::size_t>(obs.value());
+  }
+  return Status::OK();
+}
+
+Status SaveTrustStore(const TrustStore& store, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for write: " + path);
+  file << SerializeTrustStore(store);
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadTrustStore(const std::string& path, TrustStore* store) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open trust store: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializeTrustStore(buffer.str(), store);
+}
+
+}  // namespace siot::trust

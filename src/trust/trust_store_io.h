@@ -1,0 +1,39 @@
+// Copyright 2026 The siot-trust Authors.
+// TrustStore persistence. Social IoT devices reboot and re-join; their
+// accumulated trust records (and the reverse-evaluation usage histories)
+// must survive, so both serialize to a line-oriented text format:
+//
+//   record <trustor> <trustee> <task> <S> <G> <D> <C> <observations>
+//   usage <trustee> <trustor> <responsive> <abusive>
+//
+// '#' starts a comment. Parsing is strict: malformed lines are errors, not
+// silently skipped — a half-loaded trust state is worse than none.
+
+#ifndef SIOT_TRUST_TRUST_STORE_IO_H_
+#define SIOT_TRUST_TRUST_STORE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "trust/mutual.h"
+#include "trust/trust_store.h"
+
+namespace siot::trust {
+
+/// Serializes every record (sorted by key, so output is canonical).
+std::string SerializeTrustStore(const TrustStore& store);
+
+/// Parses records serialized by SerializeTrustStore into `store`
+/// (existing records with the same key are overwritten).
+Status DeserializeTrustStore(std::string_view text, TrustStore* store);
+
+/// Writes the store to a file.
+Status SaveTrustStore(const TrustStore& store, const std::string& path);
+
+/// Reads a file written by SaveTrustStore.
+Status LoadTrustStore(const std::string& path, TrustStore* store);
+
+}  // namespace siot::trust
+
+#endif  // SIOT_TRUST_TRUST_STORE_IO_H_

@@ -1,0 +1,35 @@
+// Copyright 2026 The siot-trust Authors.
+// Identifier types shared across the trust library.
+
+#ifndef SIOT_TRUST_TYPES_H_
+#define SIOT_TRUST_TYPES_H_
+
+#include <cstdint>
+
+namespace siot::trust {
+
+/// Dense agent (social IoT object) identifier. Agents typically map 1:1 to
+/// graph::NodeId when the trust layer runs over a social graph.
+using AgentId = std::uint32_t;
+
+/// Task type identifier, dense per TaskCatalog.
+using TaskId = std::uint32_t;
+
+/// Characteristic index in [0, 64). Tasks are bundles of characteristics
+/// (paper §4.2); 64 is ample for the paper's experiments (4–8).
+using CharacteristicId = std::uint8_t;
+
+/// Bitset of characteristics (bit i = characteristic i).
+using CharacteristicMask = std::uint64_t;
+
+inline constexpr std::size_t kMaxCharacteristics = 64;
+
+/// Sentinel "no agent".
+inline constexpr AgentId kNoAgent = 0xFFFFFFFFu;
+
+/// Sentinel "no task".
+inline constexpr TaskId kNoTask = 0xFFFFFFFFu;
+
+}  // namespace siot::trust
+
+#endif  // SIOT_TRUST_TYPES_H_

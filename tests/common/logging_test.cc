@@ -1,0 +1,69 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace siot {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  // The suite-wide default keeps library code silent in tests.
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  for (const LogLevel level :
+       {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+        LogLevel::kError, LogLevel::kOff}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotCrash) {
+  SetLogLevel(LogLevel::kOff);
+  LogMessage(LogLevel::kError, "should be dropped");
+  SIOT_LOG_ERROR("also dropped: %d", 42);
+  SIOT_LOG_DEBUG("dropped too");
+}
+
+TEST_F(LoggingTest, EmittedMessagesGoToStderr) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  SIOT_LOG_INFO("hello %s %d", "world", 7);
+  const std::string captured =
+      ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[INFO]"), std::string::npos);
+  EXPECT_NE(captured.find("hello world 7"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  SIOT_LOG_WARN("below threshold");
+  SIOT_LOG_ERROR("at threshold");
+  const std::string captured =
+      ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("below threshold"), std::string::npos);
+  EXPECT_NE(captured.find("at threshold"), std::string::npos);
+}
+
+TEST_F(LoggingTest, PlainLogMessage) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  LogMessage(LogLevel::kWarning, "plain text");
+  const std::string captured =
+      ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[WARN] plain text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace siot

@@ -1,0 +1,130 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "graph/community.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/metrics.h"
+
+namespace siot::graph {
+namespace {
+
+Graph TwoCliquesWithBridge(std::size_t clique) {
+  GraphBuilder b(clique * 2);
+  for (NodeId a = 0; a < clique; ++a) {
+    for (NodeId i = a + 1; i < clique; ++i) b.AddEdge(a, i);
+  }
+  for (auto a = static_cast<NodeId>(clique); a < 2 * clique; ++a) {
+    for (NodeId i = a + 1; i < 2 * clique; ++i) b.AddEdge(a, i);
+  }
+  b.AddEdge(0, static_cast<NodeId>(clique));
+  return b.Build();
+}
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  const Graph g = TwoCliquesWithBridge(5);
+  const std::vector<std::uint32_t> one(g.node_count(), 0);
+  EXPECT_NEAR(Modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, PlantedSplitIsPositive) {
+  const Graph g = TwoCliquesWithBridge(5);
+  std::vector<std::uint32_t> split(g.node_count(), 0);
+  for (std::size_t v = 5; v < 10; ++v) split[v] = 1;
+  const double q = Modularity(g, split);
+  EXPECT_GT(q, 0.4);
+  EXPECT_LT(q, 0.5);
+}
+
+TEST(ModularityTest, BadSplitIsWorse) {
+  const Graph g = TwoCliquesWithBridge(5);
+  std::vector<std::uint32_t> planted(g.node_count(), 0);
+  for (std::size_t v = 5; v < 10; ++v) planted[v] = 1;
+  // Alternating assignment mixes the cliques.
+  std::vector<std::uint32_t> bad(g.node_count());
+  for (std::size_t v = 0; v < bad.size(); ++v) bad[v] = v % 2;
+  EXPECT_LT(Modularity(g, bad), Modularity(g, planted));
+}
+
+TEST(ModularityTest, EmptyGraph) {
+  const Graph g(5);
+  EXPECT_EQ(Modularity(g, std::vector<std::uint32_t>(5, 0)), 0.0);
+}
+
+TEST(LouvainTest, RecoversTwoCliques) {
+  const Graph g = TwoCliquesWithBridge(8);
+  const CommunityResult result = Louvain(g);
+  EXPECT_EQ(result.community_count, 2u);
+  // All members of each clique together.
+  for (std::size_t v = 1; v < 8; ++v) {
+    EXPECT_EQ(result.community[v], result.community[0]);
+  }
+  for (std::size_t v = 9; v < 16; ++v) {
+    EXPECT_EQ(result.community[v], result.community[8]);
+  }
+  EXPECT_NE(result.community[0], result.community[8]);
+  EXPECT_GT(result.modularity, 0.4);
+}
+
+TEST(LouvainTest, RecoversPlantedPartitionApproximately) {
+  Rng rng(21);
+  CommunityGraphParams params;
+  params.node_count = 300;
+  params.community_count = 10;
+  params.p_intra = 0.5;
+  params.p_inter = 0.005;
+  params.size_evenness = 5.0;  // even sizes: easy case
+  auto planted = GenerateCommunityGraph(params, rng);
+  ASSERT_TRUE(planted.ok());
+  const CommunityResult result = Louvain(planted->graph);
+  EXPECT_GE(result.community_count, 8u);
+  EXPECT_LE(result.community_count, 13u);
+  // Louvain modularity should be at least that of the planted partition.
+  EXPECT_GE(result.modularity,
+            Modularity(planted->graph, planted->community) - 0.02);
+}
+
+TEST(LouvainTest, ModularityMatchesAssignment) {
+  const Graph g = TwoCliquesWithBridge(6);
+  const CommunityResult result = Louvain(g);
+  EXPECT_NEAR(result.modularity, Modularity(g, result.community), 1e-12);
+}
+
+TEST(LouvainTest, EmptyAndEdgelessGraphs) {
+  const CommunityResult empty = Louvain(Graph(0));
+  EXPECT_EQ(empty.community_count, 0u);
+  const CommunityResult isolated = Louvain(Graph(4));
+  EXPECT_EQ(isolated.community_count, 4u);
+  EXPECT_EQ(isolated.modularity, 0.0);
+}
+
+TEST(LouvainTest, DeterministicForFixedSeed) {
+  Rng rng(22);
+  const Graph g = ErdosRenyiGnp(120, 0.08, rng);
+  LouvainParams params;
+  params.seed = 99;
+  const CommunityResult a = Louvain(g, params);
+  const CommunityResult b = Louvain(g, params);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.modularity, b.modularity);
+}
+
+TEST(CountCommunitiesTest, CountsDistinct) {
+  EXPECT_EQ(CountCommunities({0, 0, 1, 3}), 3u);
+  EXPECT_EQ(CountCommunities({}), 0u);
+  EXPECT_EQ(CountCommunities({7, 7, 7}), 1u);
+}
+
+TEST(CompactCommunityIdsTest, DensifiesPreservingGroups) {
+  const auto compact = CompactCommunityIds({5, 9, 5, 2});
+  EXPECT_EQ(compact[0], compact[2]);
+  EXPECT_NE(compact[0], compact[1]);
+  EXPECT_NE(compact[0], compact[3]);
+  for (std::uint32_t c : compact) EXPECT_LT(c, 3u);
+}
+
+}  // namespace
+}  // namespace siot::graph

@@ -1,0 +1,150 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/community.h"
+#include "graph/metrics.h"
+
+namespace siot::graph {
+namespace {
+
+class DatasetsTest : public ::testing::TestWithParam<SocialNetwork> {};
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, DatasetsTest,
+                         ::testing::Values(SocialNetwork::kFacebook,
+                                           SocialNetwork::kGooglePlus,
+                                           SocialNetwork::kTwitter),
+                         [](const auto& info) {
+                           return std::string(
+                               SocialNetworkName(info.param) ==
+                                       std::string_view("Google+")
+                                   ? "GooglePlus"
+                                   : SocialNetworkName(info.param));
+                         });
+
+TEST_P(DatasetsTest, NodeAndEdgeCountsMatchTable1Exactly) {
+  const SocialDataset dataset = LoadDataset(GetParam());
+  const Table1Row paper = PaperTable1(GetParam());
+  EXPECT_EQ(dataset.graph.node_count(), paper.nodes);
+  EXPECT_EQ(dataset.graph.edge_count(), paper.edges);
+  EXPECT_NEAR(dataset.graph.AverageDegree(), paper.average_degree, 0.01);
+}
+
+TEST_P(DatasetsTest, Connected) {
+  const SocialDataset dataset = LoadDataset(GetParam());
+  EXPECT_EQ(LargestComponent(dataset.graph).size(),
+            dataset.graph.node_count());
+}
+
+TEST_P(DatasetsTest, ClusteringInCalibratedBand) {
+  const SocialDataset dataset = LoadDataset(GetParam());
+  const Table1Row paper = PaperTable1(GetParam());
+  const double acc = AverageClusteringCoefficient(dataset.graph);
+  // Calibration target: within 0.10 absolute of the paper's value.
+  EXPECT_NEAR(acc, paper.average_clustering, 0.10);
+}
+
+TEST_P(DatasetsTest, ClusteringOrderingMatchesPaper) {
+  // Paper: Facebook (0.49) > Google+ (0.39) > Twitter (0.27).
+  const double fb = AverageClusteringCoefficient(
+      LoadDataset(SocialNetwork::kFacebook).graph);
+  const double gp = AverageClusteringCoefficient(
+      LoadDataset(SocialNetwork::kGooglePlus).graph);
+  const double tw = AverageClusteringCoefficient(
+      LoadDataset(SocialNetwork::kTwitter).graph);
+  EXPECT_GT(fb, gp);
+  EXPECT_GT(gp, tw);
+}
+
+TEST_P(DatasetsTest, ModularityInCalibratedBand) {
+  const SocialDataset dataset = LoadDataset(GetParam());
+  const Table1Row paper = PaperTable1(GetParam());
+  const CommunityResult louvain = Louvain(dataset.graph);
+  EXPECT_NEAR(louvain.modularity, paper.modularity, 0.12);
+}
+
+TEST_P(DatasetsTest, PathLengthInCalibratedBand) {
+  const SocialDataset dataset = LoadDataset(GetParam());
+  const Table1Row paper = PaperTable1(GetParam());
+  const PathStats stats = ComputePathStats(dataset.graph);
+  EXPECT_NEAR(stats.average_path_length, paper.average_path_length, 1.0);
+}
+
+TEST_P(DatasetsTest, DeterministicByDefaultSeed) {
+  const SocialDataset a = LoadDataset(GetParam());
+  const SocialDataset b = LoadDataset(GetParam());
+  EXPECT_EQ(a.graph.Edges(), b.graph.Edges());
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.features, b.features);
+}
+
+TEST_P(DatasetsTest, CustomSeedChangesGraphButNotCounts) {
+  DatasetOptions options;
+  options.seed = 123456;
+  const SocialDataset custom = LoadDataset(GetParam(), options);
+  const SocialDataset dflt = LoadDataset(GetParam());
+  EXPECT_EQ(custom.graph.node_count(), dflt.graph.node_count());
+  EXPECT_EQ(custom.graph.edge_count(), dflt.graph.edge_count());
+  EXPECT_NE(custom.graph.Edges(), dflt.graph.Edges());
+}
+
+TEST_P(DatasetsTest, FeaturesNonEmptyAndWithinWidth) {
+  DatasetOptions options;
+  options.feature_count = 8;
+  const SocialDataset dataset = LoadDataset(GetParam(), options);
+  ASSERT_EQ(dataset.features.size(), dataset.graph.node_count());
+  for (std::uint64_t f : dataset.features) {
+    EXPECT_NE(f, 0u);                    // every node has some property
+    EXPECT_EQ(f >> options.feature_count, 0u);  // no bits beyond width
+  }
+}
+
+TEST(DatasetsFeatureTest, CommunityCorrelation) {
+  // Nodes in the same community share more features than across
+  // communities (Jaccard similarity of bitsets).
+  const SocialDataset dataset = LoadDataset(SocialNetwork::kFacebook);
+  auto jaccard = [](std::uint64_t a, std::uint64_t b) {
+    const double inter = static_cast<double>(__builtin_popcountll(a & b));
+    const double uni = static_cast<double>(__builtin_popcountll(a | b));
+    return uni == 0.0 ? 0.0 : inter / uni;
+  };
+  double same = 0.0, cross = 0.0;
+  std::size_t same_n = 0, cross_n = 0;
+  const std::size_t n = dataset.graph.node_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; b += 7) {  // subsample pairs
+      const double j = jaccard(dataset.features[a], dataset.features[b]);
+      if (dataset.community[a] == dataset.community[b]) {
+        same += j;
+        ++same_n;
+      } else {
+        cross += j;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(cross_n, 0u);
+  EXPECT_GT(same / static_cast<double>(same_n),
+            cross / static_cast<double>(cross_n) + 0.1);
+}
+
+TEST(DatasetsNameTest, Names) {
+  EXPECT_EQ(SocialNetworkName(SocialNetwork::kFacebook), "Facebook");
+  EXPECT_EQ(SocialNetworkName(SocialNetwork::kGooglePlus), "Google+");
+  EXPECT_EQ(SocialNetworkName(SocialNetwork::kTwitter), "Twitter");
+}
+
+TEST(DatasetsFeatureTest, GenerateNodeFeaturesValidatesWidth) {
+  Rng rng(1);
+  const std::vector<std::uint32_t> community = {0, 0, 1};
+  EXPECT_DEATH(GenerateNodeFeatures(3, community, 0, rng),
+               "SIOT_CHECK failed");
+  EXPECT_DEATH(GenerateNodeFeatures(3, community, 65, rng),
+               "SIOT_CHECK failed");
+}
+
+}  // namespace
+}  // namespace siot::graph

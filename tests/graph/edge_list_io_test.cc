@@ -1,0 +1,96 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "graph/edge_list_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/generators.h"
+
+namespace siot::graph {
+namespace {
+
+TEST(EdgeListIoTest, ParsesBasicList) {
+  auto g = ReadEdgeListString("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->node_count(), 3u);
+  EXPECT_EQ(g->edge_count(), 3u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+}
+
+TEST(EdgeListIoTest, CommentsAndBlankLines) {
+  auto g = ReadEdgeListString("# header\n\n0 1\n# mid\n1 2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->edge_count(), 2u);
+}
+
+TEST(EdgeListIoTest, TabSeparated) {
+  auto g = ReadEdgeListString("0\t1\n1\t2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->edge_count(), 2u);
+}
+
+TEST(EdgeListIoTest, SparseIdsCompacted) {
+  // SNAP files use raw user ids; they must be remapped to dense [0, n).
+  auto g = ReadEdgeListString("1000 2000\n2000 30\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->node_count(), 3u);
+  EXPECT_EQ(g->edge_count(), 2u);
+}
+
+TEST(EdgeListIoTest, DuplicateAndReversedEdgesDeduped) {
+  auto g = ReadEdgeListString("0 1\n1 0\n0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->edge_count(), 1u);
+}
+
+TEST(EdgeListIoTest, SelfLoopsDropped) {
+  auto g = ReadEdgeListString("0 0\n0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->edge_count(), 1u);
+}
+
+TEST(EdgeListIoTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ReadEdgeListString("0\n").ok());
+  EXPECT_FALSE(ReadEdgeListString("a b\n").ok());
+  EXPECT_FALSE(ReadEdgeListString("-1 2\n").ok());
+}
+
+TEST(EdgeListIoTest, EmptyInputIsEmptyGraph) {
+  auto g = ReadEdgeListString("");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->node_count(), 0u);
+  EXPECT_EQ(g->edge_count(), 0u);
+}
+
+TEST(EdgeListIoTest, RoundTripThroughString) {
+  Rng rng(33);
+  const Graph original = ErdosRenyiGnm(50, 120, rng);
+  auto parsed = ReadEdgeListString(WriteEdgeListString(original));
+  ASSERT_TRUE(parsed.ok());
+  // Node ids are renumbered by first appearance, but counts and the
+  // multiset of degrees must survive.
+  EXPECT_EQ(parsed->edge_count(), original.edge_count());
+  EXPECT_LE(parsed->node_count(), original.node_count());
+}
+
+TEST(EdgeListIoTest, RoundTripThroughFile) {
+  Rng rng(34);
+  const Graph original = ErdosRenyiGnm(30, 60, rng);
+  const std::string path = ::testing::TempDir() + "/siot_edges_test.txt";
+  ASSERT_TRUE(WriteEdgeListFile(original, path).ok());
+  auto parsed = ReadEdgeListFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->edge_count(), 60u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadEdgeListFile("/no/such/file.txt").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace siot::graph

@@ -1,0 +1,191 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.h"
+
+namespace siot::graph {
+namespace {
+
+TEST(ErdosRenyiGnpTest, EdgeCountNearExpectation) {
+  Rng rng(1);
+  const std::size_t n = 500;
+  const double p = 0.05;
+  const Graph g = ErdosRenyiGnp(n, p, rng);
+  EXPECT_EQ(g.node_count(), n);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiGnpTest, ExtremeProbabilities) {
+  Rng rng(2);
+  EXPECT_EQ(ErdosRenyiGnp(50, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(10, 1.0, rng).edge_count(), 45u);
+}
+
+TEST(ErdosRenyiGnpTest, DeterministicInSeed) {
+  Rng a(7), b(7);
+  const Graph g1 = ErdosRenyiGnp(100, 0.1, a);
+  const Graph g2 = ErdosRenyiGnp(100, 0.1, b);
+  EXPECT_EQ(g1.Edges(), g2.Edges());
+}
+
+TEST(ErdosRenyiGnmTest, ExactEdgeCount) {
+  Rng rng(3);
+  const Graph g = ErdosRenyiGnm(100, 321, rng);
+  EXPECT_EQ(g.node_count(), 100u);
+  EXPECT_EQ(g.edge_count(), 321u);
+}
+
+TEST(ErdosRenyiGnmTest, MaximumEdges) {
+  Rng rng(4);
+  const Graph g = ErdosRenyiGnm(8, 28, rng);
+  EXPECT_EQ(g.edge_count(), 28u);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(5);
+  const std::size_t n = 20, k = 4;
+  const Graph g = WattsStrogatz(n, k, 0.0, rng);
+  EXPECT_EQ(g.edge_count(), n * k / 2);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.Degree(v), k);
+  // High clustering, long paths: the small-world starting point.
+  EXPECT_GT(AverageClusteringCoefficient(g), 0.4);
+}
+
+TEST(WattsStrogatzTest, RewiringShortensPaths) {
+  Rng rng1(6), rng2(6);
+  const Graph lattice = WattsStrogatz(100, 6, 0.0, rng1);
+  const Graph rewired = WattsStrogatz(100, 6, 0.3, rng2);
+  const PathStats lat = ComputePathStats(lattice);
+  const PathStats rew = ComputePathStats(rewired);
+  EXPECT_LT(rew.average_path_length, lat.average_path_length);
+}
+
+TEST(WattsStrogatzTest, EdgeCountPreservedUnderRewiring) {
+  Rng rng(8);
+  const Graph g = WattsStrogatz(60, 6, 0.5, rng);
+  EXPECT_EQ(g.edge_count(), 60u * 6 / 2);
+}
+
+TEST(BarabasiAlbertTest, EdgeAndDegreeShape) {
+  Rng rng(9);
+  const std::size_t n = 300, m = 3;
+  const Graph g = BarabasiAlbert(n, m, rng);
+  EXPECT_EQ(g.node_count(), n);
+  // m edges per arriving node after the seed star of m edges.
+  EXPECT_EQ(g.edge_count(), m + (n - m - 1) * m);
+  // Preferential attachment produces hubs well above the mean degree.
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  EXPECT_GT(max_degree, 4 * 2 * g.edge_count() / n);
+}
+
+TEST(BarabasiAlbertTest, Connected) {
+  Rng rng(10);
+  const Graph g = BarabasiAlbert(200, 2, rng);
+  EXPECT_EQ(LargestComponent(g).size(), 200u);
+}
+
+TEST(AdjustEdgeCountTest, TrimsAndGrows) {
+  Rng rng(11);
+  GraphBuilder builder(30);
+  for (NodeId v = 0; v < 29; ++v) builder.AddEdge(v, v + 1);
+  AdjustEdgeCount(builder, 10, rng);
+  EXPECT_EQ(builder.edge_count(), 10u);
+  AdjustEdgeCount(builder, 50, rng);
+  EXPECT_EQ(builder.edge_count(), 50u);
+}
+
+TEST(CommunityGraphTest, RespectsNodeAndEdgeTargets) {
+  Rng rng(12);
+  CommunityGraphParams params;
+  params.node_count = 200;
+  params.community_count = 10;
+  params.p_intra = 0.4;
+  params.p_inter = 0.01;
+  params.target_edge_count = 1500;
+  auto result = GenerateCommunityGraph(params, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.node_count(), 200u);
+  EXPECT_EQ(result->graph.edge_count(), 1500u);
+  EXPECT_EQ(result->community.size(), 200u);
+}
+
+TEST(CommunityGraphTest, ForceConnected) {
+  Rng rng(13);
+  CommunityGraphParams params;
+  params.node_count = 150;
+  params.community_count = 15;
+  params.p_intra = 0.5;
+  params.p_inter = 0.0;  // would be disconnected without bridging
+  params.force_connected = true;
+  auto result = GenerateCommunityGraph(params, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(LargestComponent(result->graph).size(), 150u);
+}
+
+TEST(CommunityGraphTest, CommunityIdsDense) {
+  Rng rng(14);
+  CommunityGraphParams params;
+  params.node_count = 100;
+  params.community_count = 8;
+  auto result = GenerateCommunityGraph(params, rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<std::size_t> sizes(8, 0);
+  for (std::uint32_t c : result->community) {
+    ASSERT_LT(c, 8u);
+    ++sizes[c];
+  }
+  for (std::size_t s : sizes) EXPECT_GE(s, 2u);
+}
+
+TEST(CommunityGraphTest, IntraDensityExceedsInterDensity) {
+  Rng rng(15);
+  CommunityGraphParams params;
+  params.node_count = 200;
+  params.community_count = 10;
+  params.p_intra = 0.5;
+  params.p_inter = 0.005;
+  auto result = GenerateCommunityGraph(params, rng);
+  ASSERT_TRUE(result.ok());
+  std::size_t intra = 0, inter = 0;
+  for (const auto& [a, b] : result->graph.Edges()) {
+    (result->community[a] == result->community[b] ? intra : inter) += 1;
+  }
+  EXPECT_GT(intra, 5 * inter);
+}
+
+TEST(CommunityGraphTest, InvalidParamsRejected) {
+  Rng rng(16);
+  CommunityGraphParams params;
+  params.node_count = 10;
+  params.community_count = 20;  // > node_count / 2
+  EXPECT_FALSE(GenerateCommunityGraph(params, rng).ok());
+  params.community_count = 2;
+  params.p_intra = 1.5;
+  EXPECT_FALSE(GenerateCommunityGraph(params, rng).ok());
+}
+
+TEST(CommunityGraphTest, DeterministicInSeed) {
+  CommunityGraphParams params;
+  params.node_count = 120;
+  params.community_count = 6;
+  Rng a(77), b(77);
+  auto g1 = GenerateCommunityGraph(params, a);
+  auto g2 = GenerateCommunityGraph(params, b);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->graph.Edges(), g2->graph.Edges());
+  EXPECT_EQ(g1->community, g2->community);
+}
+
+}  // namespace
+}  // namespace siot::graph

@@ -1,0 +1,197 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace siot::graph {
+namespace {
+
+Graph PathGraph(std::size_t n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  return b.Build();
+}
+
+Graph CycleGraph(std::size_t n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    b.AddEdge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return b.Build();
+}
+
+Graph CompleteGraph(std::size_t n) {
+  GraphBuilder b(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId i = a + 1; i < n; ++i) b.AddEdge(a, i);
+  }
+  return b.Build();
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  const Graph g = PathGraph(5);
+  const auto dist = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);  // {2,3} isolated
+  const Graph g = b.Build();
+  const auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(ShortestPathLengthTest, Basics) {
+  const Graph g = PathGraph(6);
+  EXPECT_EQ(ShortestPathLength(g, 0, 5), 5u);
+  EXPECT_EQ(ShortestPathLength(g, 2, 2), 0u);
+  EXPECT_EQ(ShortestPathLength(g, 5, 0), 5u);
+}
+
+TEST(ShortestPathLengthTest, Disconnected) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(ShortestPathLength(g, 0, 2), kUnreachable);
+}
+
+TEST(ShortestPathTest, ReturnsEndpointInclusivePath) {
+  const Graph g = CycleGraph(6);
+  const auto path = ShortestPath(g, 0, 3);
+  ASSERT_EQ(path.size(), 4u);  // 0-x-x-3
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(path[i], path[i + 1]));
+  }
+}
+
+TEST(ShortestPathTest, SelfPath) {
+  const Graph g = PathGraph(3);
+  const auto path = ShortestPath(g, 1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(ShortestPathTest, EmptyWhenUnreachable) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  EXPECT_TRUE(ShortestPath(b.Build(), 0, 2).empty());
+}
+
+TEST(ComponentsTest, CountsAndLabels) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);  // node 5 isolated
+  const Graph g = b.Build();
+  const auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(ComponentsTest, LargestComponent) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  const auto largest = LargestComponent(b.Build());
+  EXPECT_EQ(largest, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdges) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  std::vector<std::uint32_t> remap;
+  const Graph sub = InducedSubgraph(b.Build(), {1, 2, 3}, &remap);
+  EXPECT_EQ(sub.node_count(), 3u);
+  EXPECT_EQ(sub.edge_count(), 2u);
+  EXPECT_EQ(remap[0], kUnreachable);
+  EXPECT_EQ(remap[1], 0u);
+  EXPECT_EQ(remap[3], 2u);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(1, 2));
+  EXPECT_FALSE(sub.HasEdge(0, 2));
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  const Graph g = CompleteGraph(5);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, PathGraphIsZero) {
+  const Graph g = PathGraph(5);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithTail) {
+  // Triangle 0-1-2 plus edge 2-3.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  const Graph g = b.Build();
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 3), 0.0);
+}
+
+TEST(TriangleCountTest, KnownCounts) {
+  EXPECT_EQ(TriangleCount(CompleteGraph(4)), 4u);
+  EXPECT_EQ(TriangleCount(CompleteGraph(5)), 10u);
+  EXPECT_EQ(TriangleCount(PathGraph(10)), 0u);
+  EXPECT_EQ(TriangleCount(CycleGraph(3)), 1u);
+  EXPECT_EQ(TriangleCount(CycleGraph(4)), 0u);
+}
+
+TEST(PathStatsTest, CycleGraph) {
+  const Graph g = CycleGraph(8);
+  const PathStats stats = ComputePathStats(g);
+  EXPECT_EQ(stats.diameter, 4u);
+  EXPECT_DOUBLE_EQ(stats.connected_pair_fraction, 1.0);
+  // Average distance on C8: (1+1+2+2+3+3+4)/7.
+  EXPECT_NEAR(stats.average_path_length, 16.0 / 7.0, 1e-12);
+}
+
+TEST(PathStatsTest, DisconnectedCountsConnectedPairsOnly) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  const PathStats stats = ComputePathStats(b.Build());
+  EXPECT_EQ(stats.diameter, 1u);
+  EXPECT_DOUBLE_EQ(stats.average_path_length, 1.0);
+  EXPECT_NEAR(stats.connected_pair_fraction, 4.0 / 12.0, 1e-12);
+}
+
+TEST(SummarizeTest, CoversAllFields) {
+  const Graph g = CompleteGraph(6);
+  const ConnectivitySummary s = Summarize(g);
+  EXPECT_EQ(s.node_count, 6u);
+  EXPECT_EQ(s.edge_count, 15u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 5.0);
+  EXPECT_EQ(s.diameter, 1u);
+  EXPECT_DOUBLE_EQ(s.average_path_length, 1.0);
+  EXPECT_DOUBLE_EQ(s.average_clustering, 1.0);
+  EXPECT_EQ(s.max_degree, 5u);
+  EXPECT_EQ(s.min_degree, 5u);
+}
+
+}  // namespace
+}  // namespace siot::graph

@@ -1,0 +1,77 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace siot::iotnet {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(30, [&] { order.push_back(3); });
+  queue.Schedule(10, [&] { order.push_back(1); });
+  queue.Schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueueTest, EqualTimesFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  queue.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<SimTime> fire_times;
+  std::function<void()> chain = [&] {
+    fire_times.push_back(queue.now());
+    if (fire_times.size() < 3) queue.Schedule(10, chain);
+  };
+  queue.Schedule(10, chain);
+  queue.RunAll();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.Schedule(10, [&] { ++fired; });
+  queue.Schedule(50, [&] { ++fired; });
+  EXPECT_EQ(queue.RunUntil(20), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), 20u);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeWhenEmpty) {
+  EventQueue queue;
+  queue.RunUntil(500);
+  EXPECT_EQ(queue.now(), 500u);
+}
+
+TEST(EventQueueTest, PastSchedulingDies) {
+  EventQueue queue;
+  queue.Schedule(10, [] {});
+  queue.RunAll();
+  EXPECT_DEATH(queue.ScheduleAt(5, [] {}), "SIOT_CHECK failed");
+}
+
+TEST(EventQueueTest, TimeConstants) {
+  EXPECT_EQ(kMillisecond, 1000u);
+  EXPECT_EQ(kSecond, 1000000u);
+}
+
+}  // namespace
+}  // namespace siot::iotnet

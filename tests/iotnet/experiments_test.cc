@@ -1,0 +1,139 @@
+// Copyright 2026 The siot-trust Authors.
+// Shape tests of the experimental-IoT-network experiments (Figs. 8, 14,
+// 16), run on reduced workloads; the full-size runs live in the benches.
+
+#include <gtest/gtest.h>
+
+#include "iotnet/active_time_experiment.h"
+#include "iotnet/inference_experiment.h"
+#include "iotnet/light_dark_experiment.h"
+
+namespace siot::iotnet {
+namespace {
+
+// ------------------------------------------------------------ §5.4 Fig. 8
+
+TEST(InferenceExperimentTest, ProposedModelSelectsHonestDevices) {
+  InferenceExperimentConfig config;
+  config.experiment_runs = 20;
+  config.network.seed = 5;
+  const auto result = RunInferenceExperiment(config);
+  ASSERT_EQ(result.runs.size(), 20u);
+  // Fig. 8: the with-model percentage is clearly higher.
+  EXPECT_GT(result.mean_with_model, 0.85);
+  EXPECT_LT(result.mean_without_model, 0.65);
+  EXPECT_GT(result.mean_with_model, result.mean_without_model + 0.2);
+}
+
+TEST(InferenceExperimentTest, FractionsAreValidPerRun) {
+  InferenceExperimentConfig config;
+  config.experiment_runs = 10;
+  config.network.seed = 6;
+  const auto result = RunInferenceExperiment(config);
+  for (const auto& run : result.runs) {
+    EXPECT_GE(run.honest_fraction_with_model, 0.0);
+    EXPECT_LE(run.honest_fraction_with_model, 1.0);
+    EXPECT_GE(run.honest_fraction_without_model, 0.0);
+    EXPECT_LE(run.honest_fraction_without_model, 1.0);
+  }
+}
+
+TEST(InferenceExperimentTest, DeterministicInSeed) {
+  InferenceExperimentConfig config;
+  config.experiment_runs = 5;
+  config.network.seed = 7;
+  const auto a = RunInferenceExperiment(config);
+  const auto b = RunInferenceExperiment(config);
+  EXPECT_DOUBLE_EQ(a.mean_with_model, b.mean_with_model);
+  EXPECT_DOUBLE_EQ(a.mean_without_model, b.mean_without_model);
+}
+
+// ----------------------------------------------------------- §5.6 Fig. 14
+
+TEST(ActiveTimeExperimentTest, ProposedModelShedsAttackers) {
+  ActiveTimeExperimentConfig config;
+  config.tasks_per_trustor = 25;
+  config.network.seed = 8;
+  const auto result = RunActiveTimeExperiment(config);
+  ASSERT_EQ(result.with_model_ms.size(), 25u);
+  // Both start on the shiny-gain attackers (long interactions)...
+  EXPECT_GT(result.with_model_ms.front(), 300.0);
+  EXPECT_GT(result.without_model_ms.front(), 300.0);
+  // ...but the cost-aware trustors identify and avoid them.
+  EXPECT_LT(result.final_with_model_ms, 100.0);
+  EXPECT_GT(result.final_without_model_ms, 400.0);
+}
+
+TEST(ActiveTimeExperimentTest, WithoutModelStaysOnAttackers) {
+  ActiveTimeExperimentConfig config;
+  config.tasks_per_trustor = 15;
+  config.network.seed = 9;
+  const auto result = RunActiveTimeExperiment(config);
+  // Gain-only selection keeps choosing the higher-advertised-gain
+  // attackers throughout.
+  for (double ms : result.without_model_ms) {
+    EXPECT_GT(ms, 300.0);
+  }
+}
+
+TEST(ActiveTimeExperimentTest, AttackKnobsMatter) {
+  ActiveTimeExperimentConfig gentle;
+  gentle.tasks_per_trustor = 8;
+  gentle.attack_fragment_gap = 1 * kMillisecond;
+  gentle.network.seed = 10;
+  ActiveTimeExperimentConfig harsh = gentle;
+  harsh.attack_fragment_gap = 20 * kMillisecond;
+  const auto gentle_result = RunActiveTimeExperiment(gentle);
+  const auto harsh_result = RunActiveTimeExperiment(harsh);
+  EXPECT_GT(harsh_result.without_model_ms.front(),
+            gentle_result.without_model_ms.front());
+}
+
+// ----------------------------------------------------------- §5.7 Fig. 16
+
+TEST(LightDarkExperimentTest, ProfitRecoversOnlyWithEnvironmentModel) {
+  LightDarkExperimentConfig config;
+  config.network.seed = 11;
+  const auto result = RunLightDarkExperiment(config);
+  ASSERT_EQ(result.with_model_profit.size(), 50u);
+  // Final light phase: the proposed model recovers high profit; the
+  // environment-blind model stays on the free riders.
+  EXPECT_GT(result.final_phase_with_model,
+            result.final_phase_without_model + 100.0);
+}
+
+TEST(LightDarkExperimentTest, DarkPhaseHurtsBoth) {
+  LightDarkExperimentConfig config;
+  config.network.seed = 12;
+  const auto result = RunLightDarkExperiment(config);
+  // Profit in the dark is physically limited for everyone.
+  const double dark_with = result.with_model_profit[20];
+  const double light_with = result.with_model_profit[5];
+  EXPECT_LT(dark_with, 0.5 * light_with);
+  EXPECT_LT(result.without_model_profit[20],
+            0.5 * result.without_model_profit[5]);
+}
+
+TEST(LightDarkExperimentTest, FirstLightPhaseEquivalent) {
+  LightDarkExperimentConfig config;
+  config.network.seed = 13;
+  const auto result = RunLightDarkExperiment(config);
+  // Before the malicious nodes appear and the environment changes, both
+  // models behave comparably.
+  double with_sum = 0.0, without_sum = 0.0;
+  for (std::size_t i = 2; i < config.dark_start; ++i) {
+    with_sum += result.with_model_profit[i];
+    without_sum += result.without_model_profit[i];
+  }
+  EXPECT_NEAR(with_sum / without_sum, 1.0, 0.15);
+}
+
+TEST(LightDarkExperimentTest, InvalidPhasesDie) {
+  LightDarkExperimentConfig config;
+  config.dark_start = 30;
+  config.light_again = 15;
+  EXPECT_DEATH(RunLightDarkExperiment(config), "SIOT_CHECK failed");
+}
+
+}  // namespace
+}  // namespace siot::iotnet

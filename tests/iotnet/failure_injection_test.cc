@@ -1,0 +1,198 @@
+// Copyright 2026 The siot-trust Authors.
+// Failure injection for the IoT network substrate: frame loss sweeps,
+// out-of-range devices, and pathological fragmentation, verifying the
+// stack degrades the way the MAC parameters promise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "iotnet/network.h"
+
+namespace siot::iotnet {
+namespace {
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.5));
+
+TEST_P(LossSweep, SingleFragmentDeliveryMatchesRetryBudget) {
+  const double loss = GetParam();
+  NetworkConfig config;
+  config.radio.loss_probability = loss;
+  config.seed = 321;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  int received = 0;
+  network.device(2).stack().OnReceive(
+      [&](const AppMessage&) { ++received; });
+  const int sent = 400;
+  for (int i = 0; i < sent; ++i) {
+    AppMessage message;
+    message.source = 1;
+    message.destination = 2;
+    message.payload_bytes = 20;  // single fragment
+    message.tag = i;
+    network.device(1).stack().SendMessage(message);
+    network.events().RunAll();
+  }
+  // With 3 retries, per-message delivery probability is 1 - loss^4.
+  const double expected = 1.0 - std::pow(loss, 4);
+  EXPECT_NEAR(static_cast<double>(received) / sent, expected,
+              loss == 0.0 ? 1e-12 : 0.05);
+  if (loss == 0.0) {
+    EXPECT_EQ(network.device(1).stack().stats().mac_retries, 0u);
+    EXPECT_EQ(network.device(1).stack().stats().mac_drops, 0u);
+  } else {
+    EXPECT_GT(network.device(1).stack().stats().mac_retries, 0u);
+  }
+}
+
+TEST_P(LossSweep, StatsAccountEveryFrame) {
+  const double loss = GetParam();
+  NetworkConfig config;
+  config.radio.loss_probability = loss;
+  config.seed = 77;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  network.device(3).stack().OnReceive([](const AppMessage&) {});
+  for (int i = 0; i < 50; ++i) {
+    AppMessage message;
+    message.source = 1;
+    message.destination = 3;
+    message.payload_bytes = 250;  // 3 fragments
+    message.tag = i;
+    network.device(1).stack().SendMessage(message);
+  }
+  network.events().RunAll();
+  const LayerStats& tx = network.device(1).stack().stats();
+  // Every MAC frame sent is a first attempt or a retry.
+  EXPECT_EQ(tx.mac_frames_sent, tx.aps_fragments_sent);
+  EXPECT_GE(tx.aps_fragments_sent, 150u);  // 50 messages x 3 fragments
+  const LayerStats& rx = network.device(3).stack().stats();
+  // Receiver never sees more fragments than were transmitted.
+  EXPECT_LE(rx.aps_fragments_received, tx.mac_frames_sent);
+}
+
+TEST(OutOfRangeTest, DeliveryFailsAndDropsAreCounted) {
+  NetworkConfig config;
+  config.seed = 5;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  // Move a device far out of the 250 m range.
+  network.radio().MoveDevice(2, {10000.0, 0.0});
+  int received = 0;
+  network.device(2).stack().OnReceive(
+      [&](const AppMessage&) { ++received; });
+  AppMessage message;
+  message.source = 1;
+  message.destination = 2;
+  message.payload_bytes = 20;
+  network.device(1).stack().SendMessage(message);
+  network.events().RunAll();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.device(1).stack().stats().mac_drops, 1u);
+  // Retries were attempted before dropping.
+  EXPECT_EQ(network.device(1).stack().stats().mac_retries,
+            config.mac.max_retries);
+}
+
+TEST(OutOfRangeTest, ReconnectionRangeIsTighter) {
+  NetworkConfig config;
+  IoTNetwork network(config);
+  // 200 m: in unicast range, outside the 110 m auto-reconnect range.
+  network.radio().MoveDevice(2, {200.0, 0.0});
+  EXPECT_TRUE(network.radio().InRange(0, 2));
+  EXPECT_FALSE(network.radio().InReconnectRange(0, 2));
+}
+
+TEST(PathologicalFragmentationTest, OneByteFragments) {
+  NetworkConfig config;
+  config.radio.loss_probability = 0.0;
+  config.seed = 13;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  int received = 0;
+  network.device(2).stack().OnReceive(
+      [&](const AppMessage&) { ++received; });
+  AppMessage message;
+  message.source = 1;
+  message.destination = 2;
+  message.payload_bytes = 64;
+  message.force_fragment_size = 1;  // 64 one-byte fragments
+  network.device(1).stack().SendMessage(message);
+  network.events().RunAll();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(network.device(1).stack().stats().aps_fragments_sent, 64u);
+}
+
+TEST(PathologicalFragmentationTest, ZeroPayloadStillDelivers) {
+  NetworkConfig config;
+  config.radio.loss_probability = 0.0;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  int received = 0;
+  network.device(2).stack().OnReceive(
+      [&](const AppMessage&) { ++received; });
+  AppMessage message;
+  message.source = 1;
+  message.destination = 2;
+  message.payload_bytes = 0;  // control message
+  network.device(1).stack().SendMessage(message);
+  network.events().RunAll();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(PathologicalFragmentationTest, ForcedSizeNeverExceedsMac) {
+  NetworkConfig config;
+  config.radio.loss_probability = 0.0;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  network.device(2).stack().OnReceive([](const AppMessage&) {});
+  AppMessage message;
+  message.source = 1;
+  message.destination = 2;
+  message.payload_bytes = 192;
+  message.force_fragment_size = 100000;  // silly large: clamped to MAC max
+  network.device(1).stack().SendMessage(message);
+  network.events().RunAll();
+  // 192 bytes at the 96-byte MAC limit -> exactly 2 fragments.
+  EXPECT_EQ(network.device(1).stack().stats().aps_fragments_sent, 2u);
+}
+
+TEST(InterleavedMessagesTest, ReassemblyKeyedBySourceAndTag) {
+  NetworkConfig config;
+  config.radio.loss_probability = 0.0;
+  config.seed = 17;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  std::vector<std::int64_t> completed;
+  network.device(5).stack().OnReceive(
+      [&](const AppMessage& m) { completed.push_back(m.tag); });
+  // Two senders interleave multi-fragment messages to one receiver.
+  for (int round = 0; round < 3; ++round) {
+    AppMessage a;
+    a.source = 1;
+    a.destination = 5;
+    a.payload_bytes = 300;
+    a.tag = 100 + round;
+    AppMessage b;
+    b.source = 2;
+    b.destination = 5;
+    b.payload_bytes = 300;
+    b.tag = 200 + round;
+    network.device(1).stack().SendMessage(a);
+    network.device(2).stack().SendMessage(b);
+  }
+  network.events().RunAll();
+  EXPECT_EQ(completed.size(), 6u);
+  // Every expected tag completed exactly once.
+  std::sort(completed.begin(), completed.end());
+  EXPECT_EQ(completed,
+            (std::vector<std::int64_t>{100, 101, 102, 200, 201, 202}));
+}
+
+}  // namespace
+}  // namespace siot::iotnet

@@ -1,0 +1,240 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/network.h"
+
+#include <gtest/gtest.h>
+
+#include "iotnet/coordinator.h"
+
+namespace siot::iotnet {
+namespace {
+
+NetworkConfig SmallConfig() {
+  NetworkConfig config;
+  config.seed = 77;
+  return config;
+}
+
+TEST(IoTNetworkTest, Section52Composition) {
+  IoTNetwork network(SmallConfig());
+  // Coordinator + 5 groups x (2 + 2 + 2).
+  EXPECT_EQ(network.device_count(), 1u + 5 * 6);
+  EXPECT_EQ(network.DevicesByRole(DeviceRole::kTrustor).size(), 10u);
+  EXPECT_EQ(network.DevicesByRole(DeviceRole::kHonestTrustee).size(), 10u);
+  EXPECT_EQ(network.DevicesByRole(DeviceRole::kDishonestTrustee).size(),
+            10u);
+  EXPECT_EQ(network.device(kCoordinatorAddr).role(),
+            DeviceRole::kCoordinator);
+}
+
+TEST(IoTNetworkTest, GroupsHaveFourTrustees) {
+  IoTNetwork network(SmallConfig());
+  for (std::size_t g = 1; g <= 5; ++g) {
+    const auto trustees = network.TrusteesInGroup(g);
+    EXPECT_EQ(trustees.size(), 4u);
+  }
+  EXPECT_TRUE(network.TrusteesInGroup(0).empty());  // coordinator group
+}
+
+TEST(IoTNetworkTest, AllDevicesWithinRadioRange) {
+  IoTNetwork network(SmallConfig());
+  for (DeviceAddr a = 0; a < network.device_count(); ++a) {
+    for (DeviceAddr b = 0; b < network.device_count(); ++b) {
+      EXPECT_TRUE(network.radio().InRange(a, b));
+    }
+  }
+}
+
+TEST(IoTNetworkTest, FormNetworkAssociatesEveryDevice) {
+  IoTNetwork network(SmallConfig());
+  EXPECT_FALSE(network.formed());
+  network.FormNetwork();
+  EXPECT_TRUE(network.formed());
+  for (DeviceAddr a = 1; a < network.device_count(); ++a) {
+    EXPECT_TRUE(network.device(a).stack().associated());
+    EXPECT_EQ(network.device(a).stack().stats().zdo_associations, 1u);
+  }
+}
+
+TEST(IoTNetworkTest, EndToEndMessageDelivery) {
+  IoTNetwork network(SmallConfig());
+  network.FormNetwork();
+  int received = 0;
+  AppMessage seen;
+  network.device(2).stack().OnReceive([&](const AppMessage& m) {
+    ++received;
+    seen = m;
+  });
+  AppMessage message;
+  message.source = 1;
+  message.destination = 2;
+  message.type = PayloadType::kData;
+  message.payload_bytes = 40;
+  message.tag = 1234;
+  message.value = 0.5;
+  network.device(1).stack().SendMessage(message);
+  network.events().RunAll();
+  ASSERT_EQ(received, 1);
+  EXPECT_EQ(seen.tag, 1234);
+  EXPECT_DOUBLE_EQ(seen.value, 0.5);
+  EXPECT_EQ(network.device(1).stack().stats().af_messages_sent, 1u);
+  EXPECT_EQ(network.device(2).stack().stats().af_messages_received, 1u);
+}
+
+TEST(IoTNetworkTest, LargePayloadFragments) {
+  NetworkConfig config = SmallConfig();
+  config.radio.loss_probability = 0.0;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  int received = 0;
+  network.device(2).stack().OnReceive(
+      [&](const AppMessage&) { ++received; });
+  AppMessage message;
+  message.source = 1;
+  message.destination = 2;
+  message.payload_bytes = 400;  // > 96-byte MAC payload -> 5 fragments
+  network.device(1).stack().SendMessage(message);
+  network.events().RunAll();
+  EXPECT_EQ(received, 1);  // exactly one reassembled delivery
+  EXPECT_EQ(network.device(1).stack().stats().aps_fragments_sent, 5u);
+  EXPECT_EQ(network.device(2).stack().stats().aps_fragments_received, 5u);
+}
+
+TEST(IoTNetworkTest, ForcedFragmentSizeAttackShape) {
+  NetworkConfig config = SmallConfig();
+  config.radio.loss_probability = 0.0;
+  IoTNetwork network(config);
+  network.FormNetwork();
+  SimTime normal_done = 0, attacked_done = 0;
+  network.device(2).stack().OnReceive([&](const AppMessage& m) {
+    if (m.tag == 1) normal_done = network.events().now();
+    if (m.tag == 2) attacked_done = network.events().now();
+  });
+  AppMessage normal;
+  normal.source = 1;
+  normal.destination = 2;
+  normal.payload_bytes = 400;
+  normal.tag = 1;
+  const SimTime start1 = network.events().now();
+  network.device(1).stack().SendMessage(normal);
+  network.events().RunAll();
+  const SimTime normal_elapsed = normal_done - start1;
+
+  AppMessage attacked = normal;
+  attacked.tag = 2;
+  attacked.force_fragment_size = 8;
+  attacked.fragment_gap = 12 * kMillisecond;
+  const SimTime start2 = network.events().now();
+  network.device(1).stack().SendMessage(attacked);
+  network.events().RunAll();
+  const SimTime attacked_elapsed = attacked_done - start2;
+
+  // The fragment-packet attack stretches the interaction by an order of
+  // magnitude (50 fragments x 12 ms gaps vs 5 back-to-back frames).
+  EXPECT_GT(attacked_elapsed, 10 * normal_elapsed);
+  EXPECT_GT(attacked_elapsed, 500 * kMillisecond);
+}
+
+TEST(IoTNetworkTest, RetriesRecoverFromLoss) {
+  NetworkConfig config = SmallConfig();
+  config.radio.loss_probability = 0.3;  // heavy loss
+  IoTNetwork network(config);
+  network.FormNetwork();
+  int received = 0;
+  network.device(2).stack().OnReceive(
+      [&](const AppMessage&) { ++received; });
+  for (int i = 0; i < 20; ++i) {
+    AppMessage message;
+    message.source = 1;
+    message.destination = 2;
+    message.payload_bytes = 20;
+    message.tag = i + 10;
+    network.device(1).stack().SendMessage(message);
+  }
+  network.events().RunAll();
+  // With 3 retries at 30% loss, nearly all messages arrive (1 - 0.3^4).
+  EXPECT_GE(received, 19);
+  EXPECT_GT(network.device(1).stack().stats().mac_retries, 0u);
+}
+
+TEST(IoTNetworkTest, ActiveTimeAccumulates) {
+  IoTNetwork network(SmallConfig());
+  network.FormNetwork();
+  const SimTime after_join = network.device(1).stack().active_time();
+  EXPECT_GT(after_join, 0u);
+  AppMessage message;
+  message.source = 1;
+  message.destination = 2;
+  message.payload_bytes = 200;
+  network.device(1).stack().SendMessage(message);
+  network.events().RunAll();
+  EXPECT_GT(network.device(1).stack().active_time(), after_join);
+  EXPECT_GT(network.device(2).stack().active_time(), 0u);
+}
+
+TEST(IoTNetworkTest, EnergyModel) {
+  IoTNetwork network(SmallConfig());
+  network.FormNetwork();
+  network.events().RunUntil(10 * kSecond);
+  const NodeDevice& device = network.device(1);
+  const double energy = device.EnergyConsumedMillijoules(10 * kSecond);
+  EXPECT_GT(energy, 0.0);
+  // Mostly asleep: far below 10 s of full active draw (29 mA * 3.3 V).
+  EXPECT_LT(energy, 0.5 * 29.0 * 3.3 * 10.0);
+}
+
+TEST(CoordinatorServiceTest, CollectsReports) {
+  IoTNetwork network(SmallConfig());
+  network.FormNetwork();
+  CoordinatorService coordinator(&network);
+  AppMessage report;
+  report.source = 3;
+  report.destination = kCoordinatorAddr;
+  report.type = PayloadType::kReport;
+  report.payload_bytes = 16;
+  report.tag = 42;
+  report.value = 0.75;
+  network.device(3).stack().SendMessage(report);
+  // Non-report traffic must be ignored.
+  AppMessage data = report;
+  data.type = PayloadType::kData;
+  data.tag = 43;
+  network.device(3).stack().SendMessage(data);
+  network.events().RunAll();
+  ASSERT_EQ(coordinator.reports().size(), 1u);
+  EXPECT_EQ(coordinator.reports()[0].source, 3u);
+  EXPECT_EQ(coordinator.reports()[0].tag, 42);
+  EXPECT_DOUBLE_EQ(coordinator.reports()[0].value, 0.75);
+  EXPECT_EQ(coordinator.ReportsWithTag(42).size(), 1u);
+  EXPECT_TRUE(coordinator.ReportsWithTag(99).empty());
+  const std::string csv = coordinator.ExportCsv();
+  EXPECT_NE(csv.find("source,tag,value"), std::string::npos);
+  EXPECT_NE(csv.find("3,42,0.75"), std::string::npos);
+}
+
+TEST(DeviceRoleTest, Names) {
+  EXPECT_EQ(DeviceRoleName(DeviceRole::kCoordinator), "coordinator");
+  EXPECT_EQ(DeviceRoleName(DeviceRole::kDishonestTrustee),
+            "dishonest-trustee");
+}
+
+TEST(OpticalSensorTest, QualityTracksLight) {
+  OpticalSensor sensor(1);
+  double bright_sum = 0.0, dark_sum = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    bright_sum += sensor.Acquire(1.0);
+    dark_sum += sensor.Acquire(0.1);
+  }
+  EXPECT_GT(bright_sum / 200, 0.9);
+  EXPECT_LT(dark_sum / 200, 0.2);
+  EXPECT_EQ(sensor.acquisitions(), 400u);
+}
+
+TEST(OpticalSensorTest, InvalidLightDies) {
+  OpticalSensor sensor(1);
+  EXPECT_DEATH(sensor.Acquire(-0.1), "SIOT_CHECK failed");
+  EXPECT_DEATH(sensor.Acquire(1.1), "SIOT_CHECK failed");
+}
+
+}  // namespace
+}  // namespace siot::iotnet

@@ -1,0 +1,74 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "iotnet/radio.h"
+
+#include <gtest/gtest.h>
+
+namespace siot::iotnet {
+namespace {
+
+TEST(DistanceTest, Euclidean) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(RadioMediumTest, RangeChecks) {
+  RadioMedium radio(RadioParams{}, 1);
+  radio.AddDevice({0, 0});
+  radio.AddDevice({200, 0});   // within 250 m
+  radio.AddDevice({300, 0});   // out of range
+  radio.AddDevice({100, 0});   // within reconnect range
+  EXPECT_TRUE(radio.InRange(0, 1));
+  EXPECT_FALSE(radio.InRange(0, 2));
+  EXPECT_TRUE(radio.InReconnectRange(0, 3));
+  EXPECT_FALSE(radio.InReconnectRange(0, 1));  // 200 m > 110 m
+}
+
+TEST(RadioMediumTest, TransmissionTimeAt250kbps) {
+  RadioMedium radio(RadioParams{}, 1);
+  // 125-byte frame -> (125 + 6 PHY bytes) * 8 bits / 250 kbps = 4192 us.
+  EXPECT_EQ(radio.TransmissionTime(125), 4192u);
+  // Zero-payload still pays the PHY overhead.
+  EXPECT_EQ(radio.TransmissionTime(0), 192u);
+}
+
+TEST(RadioMediumTest, DeliveryFailsOutOfRange) {
+  RadioMedium radio(RadioParams{}, 1);
+  radio.AddDevice({0, 0});
+  radio.AddDevice({1000, 0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(radio.AttemptDelivery(0, 1));
+  }
+}
+
+TEST(RadioMediumTest, LossRateApproximatesConfig) {
+  RadioParams params;
+  params.loss_probability = 0.2;
+  RadioMedium radio(params, 7);
+  radio.AddDevice({0, 0});
+  radio.AddDevice({10, 0});
+  int delivered = 0;
+  const int attempts = 20000;
+  for (int i = 0; i < attempts; ++i) {
+    delivered += radio.AttemptDelivery(0, 1) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / attempts, 0.8, 0.02);
+}
+
+TEST(RadioMediumTest, MoveDeviceChangesReachability) {
+  RadioMedium radio(RadioParams{}, 1);
+  radio.AddDevice({0, 0});
+  radio.AddDevice({300, 0});
+  EXPECT_FALSE(radio.InRange(0, 1));
+  radio.MoveDevice(1, {50, 0});
+  EXPECT_TRUE(radio.InRange(0, 1));
+}
+
+TEST(RadioMediumTest, InvalidParamsDie) {
+  RadioParams bad;
+  bad.loss_probability = 1.0;
+  EXPECT_DEATH(RadioMedium(bad, 1), "SIOT_CHECK failed");
+}
+
+}  // namespace
+}  // namespace siot::iotnet

@@ -1,0 +1,78 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/agent.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace siot::sim {
+namespace {
+
+graph::Graph TestGraph(std::size_t n) {
+  Rng rng(5);
+  return graph::ErdosRenyiGnm(n, n * 3, rng);
+}
+
+TEST(BuildPopulationTest, FractionsRespected) {
+  Rng rng(1);
+  const auto graph = TestGraph(200);
+  const Population population = BuildPopulation(graph, {0.4, 0.4}, rng);
+  EXPECT_EQ(population.trustors.size(), 80u);
+  EXPECT_EQ(population.trustees.size(), 80u);
+  EXPECT_EQ(population.roles.size(), 200u);
+}
+
+TEST(BuildPopulationTest, RolesDisjoint) {
+  Rng rng(2);
+  const auto graph = TestGraph(100);
+  const Population population = BuildPopulation(graph, {0.5, 0.5}, rng);
+  for (trust::AgentId x : population.trustors) {
+    EXPECT_TRUE(population.IsTrustor(x));
+    EXPECT_FALSE(population.IsTrustee(x));
+  }
+  for (trust::AgentId y : population.trustees) {
+    EXPECT_TRUE(population.IsTrustee(y));
+    EXPECT_FALSE(population.IsTrustor(y));
+  }
+}
+
+TEST(BuildPopulationTest, BystandersRemain) {
+  Rng rng(3);
+  const auto graph = TestGraph(100);
+  const Population population = BuildPopulation(graph, {0.4, 0.4}, rng);
+  std::size_t bystanders = 0;
+  for (const AgentRole role : population.roles) {
+    if (role == AgentRole::kBystander) ++bystanders;
+  }
+  EXPECT_EQ(bystanders, 20u);
+}
+
+TEST(BuildPopulationTest, ZeroFractions) {
+  Rng rng(4);
+  const auto graph = TestGraph(50);
+  const Population population = BuildPopulation(graph, {0.0, 0.0}, rng);
+  EXPECT_TRUE(population.trustors.empty());
+  EXPECT_TRUE(population.trustees.empty());
+}
+
+TEST(BuildPopulationTest, InvalidFractionsDie) {
+  Rng rng(5);
+  const auto graph = TestGraph(50);
+  EXPECT_DEATH(BuildPopulation(graph, {0.7, 0.7}, rng),
+               "SIOT_CHECK failed");
+  EXPECT_DEATH(BuildPopulation(graph, {-0.1, 0.4}, rng),
+               "SIOT_CHECK failed");
+}
+
+TEST(BuildPopulationTest, DeterministicInSeed) {
+  const auto graph = TestGraph(100);
+  Rng a(7), b(7);
+  const Population pa = BuildPopulation(graph, {0.4, 0.4}, a);
+  const Population pb = BuildPopulation(graph, {0.4, 0.4}, b);
+  EXPECT_EQ(pa.trustors, pb.trustors);
+  EXPECT_EQ(pa.trustees, pb.trustees);
+}
+
+}  // namespace
+}  // namespace siot::sim

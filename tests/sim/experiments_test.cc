@@ -1,0 +1,314 @@
+// Copyright 2026 The siot-trust Authors.
+// Integration tests of the §5 experiment drivers: each test checks the
+// qualitative shape the paper reports, on a reduced workload so the suite
+// stays fast. The full-size runs live in the bench binaries.
+
+#include <gtest/gtest.h>
+
+#include "sim/delegation_results_experiment.h"
+#include "sim/environment_experiment.h"
+#include "sim/mutuality_experiment.h"
+#include "sim/network_setup.h"
+#include "sim/transitivity_experiment.h"
+
+namespace siot::sim {
+namespace {
+
+const graph::SocialDataset& Facebook() {
+  static const graph::SocialDataset dataset =
+      graph::LoadDataset(graph::SocialNetwork::kFacebook);
+  return dataset;
+}
+
+// --------------------------------------------------------------- SiotWorld
+
+TEST(SiotWorldTest, RandomWorldAssignsTasksAndCompetence) {
+  Rng rng(1);
+  WorldConfig config;
+  config.characteristic_count = 5;
+  const SiotWorld world = SiotWorld::BuildRandom(Facebook().graph, config,
+                                                 rng);
+  EXPECT_GT(world.catalog().size(), 0u);
+  for (trust::AgentId v = 0; v < 20; ++v) {
+    EXPECT_EQ(world.ExperiencedTasks(v).size(), 2u);
+    for (trust::TaskId t : world.ExperiencedTasks(v)) {
+      const double c = world.Competence(v, t);
+      EXPECT_GE(c, 0.0);
+      EXPECT_LT(c, 1.0);
+      // Deterministic.
+      EXPECT_DOUBLE_EQ(c, world.Competence(v, t));
+    }
+  }
+}
+
+TEST(SiotWorldTest, TasksHaveAtMostTwoCharacteristics) {
+  Rng rng(2);
+  WorldConfig config;
+  config.characteristic_count = 6;
+  config.max_task_characteristics = 2;
+  const SiotWorld world = SiotWorld::BuildRandom(Facebook().graph, config,
+                                                 rng);
+  for (trust::TaskId t = 0; t < world.catalog().size(); ++t) {
+    const std::size_t count = world.catalog().Get(t).characteristic_count();
+    EXPECT_GE(count, 1u);
+    EXPECT_LE(count, 2u);
+  }
+}
+
+TEST(SiotWorldTest, DirectExperienceReflectsSubjectTasks) {
+  Rng rng(3);
+  WorldConfig config;
+  const SiotWorld world = SiotWorld::BuildRandom(Facebook().graph, config,
+                                                 rng);
+  const auto experiences = world.DirectExperience(0, 1);
+  ASSERT_EQ(experiences.size(), world.ExperiencedTasks(1).size());
+  for (std::size_t i = 0; i < experiences.size(); ++i) {
+    EXPECT_EQ(experiences[i].task, world.ExperiencedTasks(1)[i]);
+    EXPECT_DOUBLE_EQ(experiences[i].trustworthiness,
+                     world.Competence(1, experiences[i].task));
+  }
+}
+
+TEST(SiotWorldTest, FeatureWorldDrawsFromNodeFeatures) {
+  Rng rng(4);
+  WorldConfig config;
+  const auto& dataset = Facebook();
+  const SiotWorld world = SiotWorld::BuildFromFeatures(
+      dataset.graph, dataset.features, dataset.feature_count, config, rng);
+  for (trust::AgentId v = 0; v < 50; ++v) {
+    for (trust::TaskId t : world.ExperiencedTasks(v)) {
+      // Every characteristic of the node's tasks is one of its features.
+      EXPECT_TRUE(world.catalog().Get(t).CoveredBy(dataset.features[v]))
+          << "node " << v;
+    }
+  }
+}
+
+TEST(SiotWorldTest, SampleRequestReturnsPoolTask) {
+  Rng rng(5);
+  WorldConfig config;
+  const SiotWorld world = SiotWorld::BuildRandom(Facebook().graph, config,
+                                                 rng);
+  for (int i = 0; i < 20; ++i) {
+    const trust::TaskId id = world.SampleRequest(rng);
+    EXPECT_LT(id, world.catalog().size());
+  }
+}
+
+// ------------------------------------------------------------ §5.3 Fig. 7
+
+MutualityConfig SmallMutualityConfig() {
+  MutualityConfig config;
+  config.requests_per_trustor = 5;
+  config.warmup_uses = 15;
+  config.seed = 42;
+  return config;
+}
+
+TEST(MutualityExperimentTest, UnilateralBaselineHasHighAbuse) {
+  const auto result =
+      RunMutualityExperiment(Facebook(), SmallMutualityConfig());
+  ASSERT_EQ(result.points.size(), 3u);
+  // θ = 0: trustees accept everyone; abuse rate ~ E[1−L] ≈ 0.5 (paper:
+  // "more than 0.4").
+  EXPECT_GT(result.points[0].tally.abuse_rate(), 0.4);
+  EXPECT_LT(result.points[0].tally.unavailable_rate(), 0.1);
+}
+
+TEST(MutualityExperimentTest, ThresholdTradesAvailabilityForAbuse) {
+  const auto result =
+      RunMutualityExperiment(Facebook(), SmallMutualityConfig());
+  // As θ grows: unavailable rises, abuse falls (the Fig. 7 shape).
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_GE(result.points[i].tally.unavailable_rate(),
+              result.points[i - 1].tally.unavailable_rate());
+    EXPECT_LE(result.points[i].tally.abuse_rate(),
+              result.points[i - 1].tally.abuse_rate() + 0.02);
+  }
+  // The strictest threshold should cut abuse sharply vs the baseline.
+  EXPECT_LT(result.points.back().tally.abuse_rate(),
+            result.points.front().tally.abuse_rate() - 0.15);
+}
+
+TEST(MutualityExperimentTest, SuccessAndUnavailablePartition) {
+  const auto result =
+      RunMutualityExperiment(Facebook(), SmallMutualityConfig());
+  for (const auto& point : result.points) {
+    EXPECT_NEAR(point.tally.success_rate() + point.tally.unavailable_rate(),
+                1.0, 1e-12);
+  }
+}
+
+// ------------------------------------------------------- §5.5 Figs. 9–12
+
+TransitivityConfig SmallTransitivityConfig(std::size_t chars) {
+  TransitivityConfig config;
+  config.world.characteristic_count = chars;
+  config.requests_per_trustor = 2;
+  config.max_hops = 4;
+  config.seed = 7;
+  return config;
+}
+
+TEST(TransitivityExperimentTest, MethodOrderingMatchesPaper) {
+  const auto result = RunTransitivityExperiment(
+      Facebook(), SmallTransitivityConfig(5));
+  const auto& trad =
+      result.ForMethod(trust::TransitivityMethod::kTraditional);
+  const auto& cons =
+      result.ForMethod(trust::TransitivityMethod::kConservative);
+  const auto& aggr =
+      result.ForMethod(trust::TransitivityMethod::kAggressive);
+  // Success: aggressive >= conservative >= traditional (Fig. 9).
+  EXPECT_GE(aggr.tally.success_rate(), cons.tally.success_rate() - 0.02);
+  EXPECT_GT(cons.tally.success_rate(), trad.tally.success_rate());
+  // Unavailable: traditional >= conservative >= aggressive (Fig. 10).
+  EXPECT_GT(trad.tally.unavailable_rate(), cons.tally.unavailable_rate());
+  EXPECT_GE(cons.tally.unavailable_rate(),
+            aggr.tally.unavailable_rate() - 0.02);
+  // Potential trustees: aggressive finds the most (Fig. 11).
+  EXPECT_GE(aggr.avg_potential_trustees, cons.avg_potential_trustees);
+  EXPECT_GT(cons.avg_potential_trustees, trad.avg_potential_trustees);
+}
+
+TEST(TransitivityExperimentTest, MoreCharacteristicsHarder) {
+  // Figs. 9–10: success falls and unavailability rises with the number of
+  // characteristics in the network.
+  const auto few = RunTransitivityExperiment(
+      Facebook(), SmallTransitivityConfig(4));
+  const auto many = RunTransitivityExperiment(
+      Facebook(), SmallTransitivityConfig(7));
+  const auto method = trust::TransitivityMethod::kAggressive;
+  EXPECT_GE(few.ForMethod(method).tally.success_rate(),
+            many.ForMethod(method).tally.success_rate() - 0.03);
+  EXPECT_LE(few.ForMethod(method).tally.unavailable_rate(),
+            many.ForMethod(method).tally.unavailable_rate() + 0.03);
+}
+
+TEST(TransitivityExperimentTest, AggressiveInquiresMoreNodes) {
+  // Fig. 12: the aggressive method's wider search costs more inquiries.
+  const auto result = RunTransitivityExperiment(
+      Facebook(), SmallTransitivityConfig(6));
+  auto total = [](const std::vector<std::size_t>& v) {
+    std::size_t sum = 0;
+    for (std::size_t x : v) sum += x;
+    return sum;
+  };
+  const auto& trad =
+      result.ForMethod(trust::TransitivityMethod::kTraditional);
+  const auto& cons =
+      result.ForMethod(trust::TransitivityMethod::kConservative);
+  const auto& aggr =
+      result.ForMethod(trust::TransitivityMethod::kAggressive);
+  EXPECT_GT(total(aggr.inquired_per_trustor),
+            total(cons.inquired_per_trustor));
+  EXPECT_GT(total(aggr.inquired_per_trustor),
+            total(trad.inquired_per_trustor));
+}
+
+TEST(TransitivityExperimentTest, FeatureModeRuns) {
+  TransitivityConfig config = SmallTransitivityConfig(8);
+  config.use_features = true;
+  const auto result = RunTransitivityExperiment(Facebook(), config);
+  // Table 2 shape: the proposed schemes dominate the traditional one.
+  EXPECT_GT(result.ForMethod(trust::TransitivityMethod::kAggressive)
+                .tally.success_rate(),
+            result.ForMethod(trust::TransitivityMethod::kTraditional)
+                .tally.success_rate());
+}
+
+// ------------------------------------------------------------ §5.6 Fig. 13
+
+TEST(DelegationResultsTest, SecondStrategyEarnsMoreProfit) {
+  DelegationResultsConfig config;
+  config.iterations = 400;
+  config.seed = 3;
+  const auto outcome = RunDelegationResultsExperiment(Facebook(), config);
+  const auto& first =
+      outcome.ForStrategy(trust::SelectionStrategy::kMaxSuccessRate);
+  const auto& second =
+      outcome.ForStrategy(trust::SelectionStrategy::kMaxNetProfit);
+  EXPECT_GT(second.final_profit, first.final_profit + 0.1);
+  // Strategy 2 should converge to clearly positive profit.
+  EXPECT_GT(second.final_profit, 0.15);
+}
+
+TEST(DelegationResultsTest, ProfitImprovesOverIterations) {
+  DelegationResultsConfig config;
+  config.iterations = 400;
+  config.seed = 4;
+  const auto outcome = RunDelegationResultsExperiment(Facebook(), config);
+  const auto& second =
+      outcome.ForStrategy(trust::SelectionStrategy::kMaxNetProfit);
+  // Later profit beats the random-estimate start.
+  EXPECT_GT(second.mean_profit.back(), second.mean_profit.front());
+}
+
+TEST(DelegationResultsTest, TracesAligned) {
+  DelegationResultsConfig config;
+  config.iterations = 200;
+  const auto outcome = RunDelegationResultsExperiment(Facebook(), config);
+  ASSERT_EQ(outcome.strategies.size(), 2u);
+  EXPECT_EQ(outcome.strategies[0].iteration,
+            outcome.strategies[1].iteration);
+  EXPECT_EQ(outcome.strategies[0].mean_profit.size(),
+            outcome.strategies[0].iteration.size());
+}
+
+// ------------------------------------------------------------ §5.7 Fig. 15
+
+TEST(EnvironmentTrackingTest, PlateausMatchPaper) {
+  EnvironmentTrackingConfig config;
+  config.runs = 40;
+  config.seed = 5;
+  const auto result = RunEnvironmentTrackingExperiment(config);
+  ASSERT_EQ(result.traditional.size(), 300u);
+  // End of phase 1: all estimators near 0.8.
+  EXPECT_NEAR(result.no_environment[99], 0.8, 0.05);
+  EXPECT_NEAR(result.traditional[99], 0.8, 0.05);
+  EXPECT_NEAR(result.proposed[99], 0.8, 0.05);
+  // End of phase 2 (E = 0.4): observed rate 0.32.
+  EXPECT_NEAR(result.traditional[199], 0.32, 0.05);
+  EXPECT_NEAR(result.proposed[199], 0.32, 0.05);
+  // Baseline never sees the environment.
+  EXPECT_NEAR(result.no_environment[199], 0.8, 0.05);
+  // End of phase 3 (E = 0.7): 0.56.
+  EXPECT_NEAR(result.traditional[299], 0.56, 0.05);
+  EXPECT_NEAR(result.proposed[299], 0.56, 0.05);
+}
+
+TEST(EnvironmentTrackingTest, ProposedTracksFasterAfterChange) {
+  EnvironmentTrackingConfig config;
+  config.runs = 40;
+  config.seed = 6;
+  const auto result = RunEnvironmentTrackingExperiment(config);
+  // Right after the drop to E = 0.4 (iteration 100), the proposed method
+  // is already near 0.32 while the traditional one still lags with error.
+  const double target = 0.32;
+  const double proposed_error = std::abs(result.proposed[105] - target);
+  const double traditional_error =
+      std::abs(result.traditional[105] - target);
+  EXPECT_LT(proposed_error, 0.08);
+  EXPECT_GT(traditional_error, proposed_error + 0.05);
+}
+
+TEST(EnvironmentTrackingTest, ExpectedCurveIsGroundTruth) {
+  EnvironmentTrackingConfig config;
+  config.runs = 2;
+  const auto result = RunEnvironmentTrackingExperiment(config);
+  EXPECT_DOUBLE_EQ(result.expected[0], 0.8);
+  EXPECT_DOUBLE_EQ(result.expected[150], 0.8 * 0.4);
+  EXPECT_DOUBLE_EQ(result.expected[250], 0.8 * 0.7);
+}
+
+TEST(EnvironmentTrackingTest, CustomPhases) {
+  EnvironmentTrackingConfig config;
+  config.phases = {{1.0, 10}, {0.5, 10}};
+  config.runs = 5;
+  const auto result = RunEnvironmentTrackingExperiment(config);
+  EXPECT_EQ(result.iteration.size(), 20u);
+  EXPECT_DOUBLE_EQ(result.expected.back(), 0.4);
+}
+
+}  // namespace
+}  // namespace siot::sim

@@ -1,0 +1,73 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace siot::sim {
+namespace {
+
+TEST(DelegationTallyTest, EmptyRatesAreZero) {
+  DelegationTally tally;
+  EXPECT_EQ(tally.success_rate(), 0.0);
+  EXPECT_EQ(tally.unavailable_rate(), 0.0);
+  EXPECT_EQ(tally.abuse_rate(), 0.0);
+}
+
+TEST(DelegationTallyTest, RatesPartitionRequests) {
+  DelegationTally tally;
+  tally.AddSuccess(false);
+  tally.AddSuccess(true);
+  tally.AddFailure(false);
+  tally.AddUnavailable();
+  EXPECT_EQ(tally.requests, 4u);
+  EXPECT_DOUBLE_EQ(tally.success_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(tally.failure_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(tally.unavailable_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(
+      tally.success_rate() + tally.failure_rate() + tally.unavailable_rate(),
+      1.0);
+}
+
+TEST(DelegationTallyTest, AbuseRateOverUsesOnly) {
+  DelegationTally tally;
+  tally.AddSuccess(true);
+  tally.AddSuccess(false);
+  tally.AddUnavailable();  // no use of resources
+  EXPECT_EQ(tally.total_uses, 2u);
+  EXPECT_DOUBLE_EQ(tally.abuse_rate(), 0.5);
+}
+
+TEST(DelegationTallyTest, MergeAddsFields) {
+  DelegationTally a, b;
+  a.AddSuccess(true);
+  b.AddFailure(false);
+  b.AddUnavailable();
+  a.Merge(b);
+  EXPECT_EQ(a.requests, 3u);
+  EXPECT_EQ(a.successes, 1u);
+  EXPECT_EQ(a.failures, 1u);
+  EXPECT_EQ(a.unavailable, 1u);
+  EXPECT_EQ(a.abusive_uses, 1u);
+  EXPECT_EQ(a.total_uses, 2u);
+}
+
+TEST(IterationTraceTest, MeanPerIteration) {
+  IterationTrace trace(3);
+  trace.Add(0, 1.0);
+  trace.Add(0, 3.0);
+  trace.Add(2, 5.0);
+  const auto mean = trace.Mean();
+  ASSERT_EQ(mean.size(), 3u);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 0.0);  // nothing recorded
+  EXPECT_DOUBLE_EQ(mean[2], 5.0);
+}
+
+TEST(IterationTraceTest, OutOfRangeDies) {
+  IterationTrace trace(2);
+  EXPECT_DEATH(trace.Add(2, 1.0), "SIOT_CHECK failed");
+}
+
+}  // namespace
+}  // namespace siot::sim

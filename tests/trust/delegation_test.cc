@@ -1,0 +1,89 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/delegation.h"
+
+#include <gtest/gtest.h>
+
+namespace siot::trust {
+namespace {
+
+TEST(DecideDelegationTest, PicksBestCandidateByProfit) {
+  std::vector<CandidateEvaluation> candidates = {
+      {10, {0.9, 0.2, 0.5, 0.3}},
+      {11, {0.7, 1.0, 0.1, 0.1}},  // better economics
+  };
+  const auto decision = DecideDelegation(
+      0, std::nullopt, candidates, SelectionStrategy::kMaxNetProfit);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->executor, 11u);
+  EXPECT_FALSE(decision->self_execution);
+  EXPECT_NEAR(decision->expected_profit,
+              ExpectedNetProfit(candidates[1].estimates), 1e-12);
+}
+
+TEST(DecideDelegationTest, PicksBestBySuccessRateUnderFirstStrategy) {
+  std::vector<CandidateEvaluation> candidates = {
+      {10, {0.9, 0.2, 0.5, 0.3}},
+      {11, {0.7, 1.0, 0.1, 0.1}},
+  };
+  const auto decision = DecideDelegation(
+      0, std::nullopt, candidates, SelectionStrategy::kMaxSuccessRate);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->executor, 10u);
+}
+
+TEST(DecideDelegationTest, Eq24KeepsTaskWhenSelfIsBetter) {
+  const OutcomeEstimates self{0.9, 1.0, 0.0, 0.0};  // excellent
+  std::vector<CandidateEvaluation> candidates = {
+      {10, {0.5, 0.5, 0.5, 0.5}},
+  };
+  const auto decision = DecideDelegation(
+      7, self, candidates, SelectionStrategy::kMaxNetProfit);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->self_execution);
+  EXPECT_EQ(decision->executor, 7u);
+  EXPECT_NEAR(decision->expected_profit, ExpectedNetProfit(self), 1e-12);
+  // The candidate's profit is still reported for inspection.
+  EXPECT_NEAR(decision->best_candidate_profit,
+              ExpectedNetProfit(candidates[0].estimates), 1e-12);
+}
+
+TEST(DecideDelegationTest, Eq24DelegatesWhenOtherIsBetter) {
+  const OutcomeEstimates self{0.5, 0.5, 0.5, 0.5};
+  std::vector<CandidateEvaluation> candidates = {
+      {10, {0.9, 1.0, 0.0, 0.0}},
+  };
+  const auto decision = DecideDelegation(
+      7, self, candidates, SelectionStrategy::kMaxNetProfit);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->self_execution);
+  EXPECT_EQ(decision->executor, 10u);
+}
+
+TEST(DecideDelegationTest, SelfOnlyExecutesSelf) {
+  const auto decision =
+      DecideDelegation(7, OutcomeEstimates{0.5, 0.5, 0.5, 0.5}, {},
+                       SelectionStrategy::kMaxNetProfit);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->self_execution);
+  EXPECT_EQ(decision->executor, 7u);
+}
+
+TEST(DecideDelegationTest, NothingAvailableIsNotFound) {
+  EXPECT_TRUE(DecideDelegation(7, std::nullopt, {},
+                               SelectionStrategy::kMaxNetProfit)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(DecideDelegationTest, EqualProfitPrefersSelf) {
+  // Eq. 24 requires STRICTLY more profit to take the risk of delegation.
+  const OutcomeEstimates same{0.5, 0.5, 0.5, 0.5};
+  const auto decision = DecideDelegation(
+      7, same, {{10, same}}, SelectionStrategy::kMaxNetProfit);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->self_execution);
+}
+
+}  // namespace
+}  // namespace siot::trust

@@ -1,0 +1,149 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace siot::trust {
+namespace {
+
+TEST(AggregateEnvironmentTest, MinIsCannikinLaw) {
+  EXPECT_DOUBLE_EQ(
+      AggregateEnvironment({1.0, 0.4, 0.7}, EnvironmentAggregation::kMin),
+      0.4);
+}
+
+TEST(AggregateEnvironmentTest, MeanAndProduct) {
+  EXPECT_DOUBLE_EQ(
+      AggregateEnvironment({0.5, 1.0}, EnvironmentAggregation::kMean), 0.75);
+  EXPECT_DOUBLE_EQ(
+      AggregateEnvironment({0.5, 0.5}, EnvironmentAggregation::kProduct),
+      0.25);
+}
+
+TEST(AggregateEnvironmentTest, SingleIndicator) {
+  for (auto agg : {EnvironmentAggregation::kMin,
+                   EnvironmentAggregation::kMean,
+                   EnvironmentAggregation::kProduct}) {
+    EXPECT_DOUBLE_EQ(AggregateEnvironment({0.6}, agg), 0.6);
+  }
+}
+
+TEST(AggregateEnvironmentTest, InvalidIndicatorDies) {
+  EXPECT_DEATH(
+      AggregateEnvironment({0.0}, EnvironmentAggregation::kMin),
+      "SIOT_CHECK failed");
+  EXPECT_DEATH(
+      AggregateEnvironment({1.1}, EnvironmentAggregation::kMin),
+      "SIOT_CHECK failed");
+  EXPECT_DEATH(AggregateEnvironment({}, EnvironmentAggregation::kMin),
+               "SIOT_CHECK failed");
+}
+
+TEST(RemoveEnvironmentInfluenceTest, Eq29Division) {
+  // r(S) = S / min[E...]: success observed in hostility earns extra credit.
+  EXPECT_DOUBLE_EQ(RemoveEnvironmentInfluence(0.32, 0.4), 0.8);
+  EXPECT_DOUBLE_EQ(RemoveEnvironmentInfluence(1.0, 0.4), 2.5);
+  EXPECT_DOUBLE_EQ(RemoveEnvironmentInfluence(0.0, 0.4), 0.0);
+}
+
+TEST(RemoveEnvironmentInfluenceTest, PerfectEnvironmentIsIdentity) {
+  EXPECT_DOUBLE_EQ(RemoveEnvironmentInfluence(0.7, 1.0), 0.7);
+}
+
+TEST(RemoveEnvironmentInfluenceTest, OptionalCap) {
+  EXPECT_DOUBLE_EQ(RemoveEnvironmentInfluence(1.0, 0.25, 2.0), 2.0);
+}
+
+TEST(EnvironmentModelTest, DefaultAndOverrides) {
+  EnvironmentModel env(0.9);
+  EXPECT_DOUBLE_EQ(env.Indicator(7), 0.9);
+  env.SetIndicator(7, 0.4);
+  EXPECT_DOUBLE_EQ(env.Indicator(7), 0.4);
+  EXPECT_DOUBLE_EQ(env.Indicator(8), 0.9);
+  env.SetDefaultIndicator(0.6);
+  EXPECT_DOUBLE_EQ(env.Indicator(8), 0.6);
+  EXPECT_DOUBLE_EQ(env.Indicator(7), 0.4);  // override survives
+}
+
+TEST(EnvironmentModelTest, ChainIndicatorIncludesIntermediates) {
+  EnvironmentModel env(1.0);
+  env.SetIndicator(0, 0.9);   // trustor
+  env.SetIndicator(1, 0.8);   // trustee
+  env.SetIndicator(5, 0.3);   // intermediate: the wooden bucket's short stave
+  EXPECT_DOUBLE_EQ(env.ChainIndicator(0, 1, {5}), 0.3);
+  EXPECT_DOUBLE_EQ(env.ChainIndicator(0, 1, {}), 0.8);
+}
+
+TEST(EnvironmentModelTest, InvalidIndicatorsDie) {
+  EnvironmentModel env;
+  EXPECT_DEATH(env.SetIndicator(0, 0.0), "SIOT_CHECK failed");
+  EXPECT_DEATH(env.SetIndicator(0, -0.5), "SIOT_CHECK failed");
+  EXPECT_DEATH(env.SetDefaultIndicator(2.0), "SIOT_CHECK failed");
+  EXPECT_DEATH(EnvironmentModel(0.0), "SIOT_CHECK failed");
+}
+
+TEST(UpdateWithEnvironmentTest, PerfectEnvironmentMatchesPlainUpdate) {
+  const OutcomeEstimates prev{0.5, 0.5, 0.5, 0.5};
+  const DelegationOutcome outcome{true, 0.8, 0.0, 0.2};
+  const ForgettingFactors beta = ForgettingFactors::Uniform(0.1);
+  const auto with_env =
+      UpdateEstimatesWithEnvironment(prev, outcome, beta, 1.0);
+  const auto plain = UpdateEstimates(prev, outcome, beta);
+  EXPECT_DOUBLE_EQ(with_env.success_rate, plain.success_rate);
+  EXPECT_DOUBLE_EQ(with_env.gain, plain.gain);
+  EXPECT_DOUBLE_EQ(with_env.damage, plain.damage);
+  EXPECT_DOUBLE_EQ(with_env.cost, plain.cost);
+}
+
+TEST(UpdateWithEnvironmentTest, HostileSuccessEarnsExtraCredit) {
+  const OutcomeEstimates prev{0.5, 0.5, 0.5, 0.5};
+  const DelegationOutcome outcome{true, 0.0, 0.0, 0.0};
+  const ForgettingFactors beta = ForgettingFactors::Uniform(0.5);
+  const auto hostile =
+      UpdateEstimatesWithEnvironment(prev, outcome, beta, 0.5);
+  const auto amicable =
+      UpdateEstimatesWithEnvironment(prev, outcome, beta, 1.0);
+  // Success sample de-biased by 0.5 counts as 2.0.
+  EXPECT_GT(hostile.success_rate, amicable.success_rate);
+  EXPECT_NEAR(hostile.success_rate, 0.5 * 0.5 + 0.5 * 2.0, 1e-12);
+}
+
+// The core §5.7 property: updating with de-biased samples converges to the
+// trustee's intrinsic competence regardless of the environment level.
+TEST(UpdateWithEnvironmentTest, DebiasedEstimateTracksIntrinsicCompetence) {
+  const double intrinsic = 0.8;
+  for (double env : {1.0, 0.7, 0.4}) {
+    Rng rng(1234);
+    OutcomeEstimates est{1.0, 0.0, 0.0, 0.0};
+    const ForgettingFactors beta = ForgettingFactors::Uniform(0.9);
+    // Observed success probability is intrinsic * env (hostility causes
+    // failures); r(·) divides the samples back up.
+    for (int i = 0; i < 4000; ++i) {
+      const bool success = rng.Bernoulli(intrinsic * env);
+      est = UpdateEstimatesWithEnvironment(
+          est, {success, 0.0, 0.0, 0.0}, beta, env);
+    }
+    EXPECT_NEAR(est.success_rate, intrinsic, 0.12)
+        << "environment " << env;
+  }
+}
+
+// Without the removal function the estimate absorbs the environment (the
+// traditional method's bias in Fig. 15).
+TEST(UpdateWithEnvironmentTest, PlainUpdateAbsorbsEnvironmentBias) {
+  const double intrinsic = 0.8, env = 0.4;
+  Rng rng(99);
+  OutcomeEstimates est{1.0, 0.0, 0.0, 0.0};
+  const ForgettingFactors beta = ForgettingFactors::Uniform(0.9);
+  for (int i = 0; i < 4000; ++i) {
+    const bool success = rng.Bernoulli(intrinsic * env);
+    est = UpdateEstimates(est, {success, 0.0, 0.0, 0.0}, beta);
+  }
+  EXPECT_NEAR(est.success_rate, intrinsic * env, 0.1);
+}
+
+}  // namespace
+}  // namespace siot::trust

@@ -1,0 +1,136 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/mutual.h"
+
+#include <gtest/gtest.h>
+
+namespace siot::trust {
+namespace {
+
+TEST(ReverseEvaluatorTest, UnknownTrustorIsNeutral) {
+  ReverseEvaluator eval;
+  EXPECT_DOUBLE_EQ(eval.ReverseTrustworthiness(1, 2), 0.5);
+  EXPECT_EQ(eval.FindHistory(1, 2), nullptr);
+}
+
+TEST(ReverseEvaluatorTest, ResponsiveUsageRaisesTrust) {
+  ReverseEvaluator eval;
+  for (int i = 0; i < 8; ++i) eval.RecordUsage(1, 2, /*abusive=*/false);
+  EXPECT_NEAR(eval.ReverseTrustworthiness(1, 2), 9.0 / 10.0, 1e-12);
+}
+
+TEST(ReverseEvaluatorTest, AbusiveUsageLowersTrust) {
+  ReverseEvaluator eval;
+  for (int i = 0; i < 8; ++i) eval.RecordUsage(1, 2, /*abusive=*/true);
+  EXPECT_NEAR(eval.ReverseTrustworthiness(1, 2), 1.0 / 10.0, 1e-12);
+}
+
+TEST(ReverseEvaluatorTest, HistoriesArePerPair) {
+  ReverseEvaluator eval;
+  eval.RecordUsage(1, 2, true);
+  EXPECT_DOUBLE_EQ(eval.ReverseTrustworthiness(1, 3), 0.5);
+  EXPECT_DOUBLE_EQ(eval.ReverseTrustworthiness(2, 1), 0.5);
+  ASSERT_NE(eval.FindHistory(1, 2), nullptr);
+  EXPECT_EQ(eval.FindHistory(1, 2)->abusive_uses, 1u);
+}
+
+TEST(ReverseEvaluatorTest, ThresholdLookupOrder) {
+  ReverseEvaluator eval;
+  eval.SetDefaultThreshold(0.1);
+  EXPECT_DOUBLE_EQ(eval.Threshold(5, 0), 0.1);  // global default
+  eval.SetThreshold(5, kNoTask, 0.3);
+  EXPECT_DOUBLE_EQ(eval.Threshold(5, 0), 0.3);  // trustee-wide
+  eval.SetThreshold(5, 0, 0.6);
+  EXPECT_DOUBLE_EQ(eval.Threshold(5, 0), 0.6);  // task-specific
+  EXPECT_DOUBLE_EQ(eval.Threshold(5, 1), 0.3);  // other task: trustee-wide
+  EXPECT_DOUBLE_EQ(eval.Threshold(6, 0), 0.1);  // other trustee: default
+}
+
+TEST(ReverseEvaluatorTest, ZeroThresholdAcceptsEveryone) {
+  // θ = 0 is the paper's unilateral-evaluation baseline.
+  ReverseEvaluator eval;
+  eval.SetDefaultThreshold(0.0);
+  for (int i = 0; i < 20; ++i) eval.RecordUsage(1, 2, true);
+  EXPECT_TRUE(eval.AcceptsDelegation(1, 2, 0));
+}
+
+TEST(ReverseEvaluatorTest, HighThresholdRejectsAbusers) {
+  ReverseEvaluator eval;
+  eval.SetDefaultThreshold(0.6);
+  for (int i = 0; i < 10; ++i) eval.RecordUsage(1, 2, true);
+  EXPECT_FALSE(eval.AcceptsDelegation(1, 2, 0));
+  for (int i = 0; i < 40; ++i) eval.RecordUsage(1, 3, false);
+  EXPECT_TRUE(eval.AcceptsDelegation(1, 3, 0));
+}
+
+TEST(ReverseEvaluatorTest, ThresholdBoundaryIsInclusive) {
+  // Eq. 1: accept when reverse TW >= θ.
+  ReverseEvaluator eval;
+  eval.SetDefaultThreshold(0.5);
+  EXPECT_TRUE(eval.AcceptsDelegation(1, 2, 0));  // unknown -> exactly 0.5
+}
+
+TEST(SelectTrusteeMutuallyTest, PicksHighestAcceptingCandidate) {
+  ReverseEvaluator eval;
+  eval.SetDefaultThreshold(0.6);
+  // Candidate 10 would be best but refuses (abusive history).
+  for (int i = 0; i < 10; ++i) eval.RecordUsage(10, 1, true);
+  // Candidate 11 accepts.
+  for (int i = 0; i < 10; ++i) eval.RecordUsage(11, 1, false);
+  const MutualSelection selection = SelectTrusteeMutually(
+      eval, /*trustor=*/1, /*task=*/0,
+      {{10, 0.9}, {11, 0.7}, {12, 0.5}});
+  EXPECT_EQ(selection.trustee, 11u);
+  EXPECT_DOUBLE_EQ(selection.trustworthiness, 0.7);
+  EXPECT_EQ(selection.refusals, (std::vector<AgentId>{10}));
+}
+
+TEST(SelectTrusteeMutuallyTest, AllRefuseIsUnavailable) {
+  ReverseEvaluator eval;
+  eval.SetDefaultThreshold(0.9);
+  for (AgentId y : {10u, 11u}) {
+    for (int i = 0; i < 10; ++i) eval.RecordUsage(y, 1, true);
+  }
+  const MutualSelection selection =
+      SelectTrusteeMutually(eval, 1, 0, {{10, 0.9}, {11, 0.7}});
+  EXPECT_EQ(selection.trustee, kNoAgent);
+  EXPECT_EQ(selection.refusals.size(), 2u);
+}
+
+TEST(SelectTrusteeMutuallyTest, EmptyCandidateList) {
+  ReverseEvaluator eval;
+  const MutualSelection selection = SelectTrusteeMutually(eval, 1, 0, {});
+  EXPECT_EQ(selection.trustee, kNoAgent);
+  EXPECT_TRUE(selection.refusals.empty());
+}
+
+TEST(SelectTrusteeMutuallyTest, DescendingOrderWithIdTieBreak) {
+  ReverseEvaluator eval;  // everyone accepts at θ=0
+  const MutualSelection selection = SelectTrusteeMutually(
+      eval, 1, 0, {{12, 0.7}, {10, 0.7}, {11, 0.9}});
+  EXPECT_EQ(selection.trustee, 11u);
+  // Equal scores tie-break by lower agent id.
+  const MutualSelection tie =
+      SelectTrusteeMutually(eval, 1, 0, {{12, 0.7}, {10, 0.7}});
+  EXPECT_EQ(tie.trustee, 10u);
+}
+
+// Fig. 2 walkthrough: trustee 1 refuses, trustee 2 accepts and acts.
+TEST(SelectTrusteeMutuallyTest, PaperFig2Procedure) {
+  ReverseEvaluator eval;
+  eval.SetThreshold(/*trustee=*/1, kNoTask, 0.8);  // θ1 high
+  eval.SetThreshold(/*trustee=*/2, kNoTask, 0.4);  // θ2 moderate
+  // Trustor X (=0) has a mediocre record with both.
+  for (int i = 0; i < 3; ++i) {
+    eval.RecordUsage(1, 0, i % 2 == 0);
+    eval.RecordUsage(2, 0, i % 2 == 0);
+  }
+  // Reverse TW ~ (1+1)/(3+2) = 0.4: trustee 1 refuses, trustee 2 accepts.
+  const MutualSelection selection =
+      SelectTrusteeMutually(eval, 0, 0, {{1, 0.95}, {2, 0.85}});
+  EXPECT_EQ(selection.refusals, (std::vector<AgentId>{1}));
+  EXPECT_EQ(selection.trustee, 2u);
+}
+
+}  // namespace
+}  // namespace siot::trust

@@ -1,0 +1,162 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/trust_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace siot::trust {
+namespace {
+
+class TrustEngineTest : public ::testing::Test {
+ protected:
+  TrustEngineTest() : engine_(MakeConfig()) {
+    gps_ = engine_.catalog().AddUniform("gps", {0}).value();
+    image_ = engine_.catalog().AddUniform("image", {1}).value();
+    traffic_ = engine_.catalog().AddUniform("traffic", {0, 1}).value();
+  }
+
+  static TrustEngineConfig MakeConfig() {
+    TrustEngineConfig config;
+    config.beta = ForgettingFactors::Uniform(0.1);
+    config.initial_estimates = {0.5, 0.5, 0.5, 0.5};
+    return config;
+  }
+
+  TrustEngine engine_;
+  TaskId gps_, image_, traffic_;
+};
+
+TEST_F(TrustEngineTest, PreEvaluateFallsBackToInitialEstimates) {
+  const double initial = TrustworthinessFromEstimates(
+      engine_.config().initial_estimates, engine_.normalizer());
+  EXPECT_DOUBLE_EQ(engine_.PreEvaluate(0, 1, gps_), initial);
+}
+
+TEST_F(TrustEngineTest, PreEvaluateUsesDirectRecord) {
+  engine_.store().Put(0, 1, gps_, {1.0, 1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(engine_.PreEvaluate(0, 1, gps_), 1.0);
+}
+
+TEST_F(TrustEngineTest, PreEvaluateInfersFromAnalogousTasks) {
+  // No direct 'traffic' record, but gps+image records cover it (Eq. 4).
+  engine_.store().Put(0, 1, gps_, {1.0, 1.0, 0.0, 0.0});    // tw 1.0
+  engine_.store().Put(0, 1, image_, {0.0, 0.0, 1.0, 1.0});  // tw 0.0
+  EXPECT_DOUBLE_EQ(engine_.PreEvaluate(0, 1, traffic_), 0.5);
+}
+
+TEST_F(TrustEngineTest, ReportOutcomeUpdatesTrustorEstimates) {
+  for (int i = 0; i < 50; ++i) {
+    engine_.ReportOutcome(0, 1, gps_, {true, 0.8, 0.0, 0.1});
+  }
+  const auto record = engine_.store().Find(0, 1, gps_);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_GT(record->estimates.success_rate, 0.95);
+  EXPECT_NEAR(record->estimates.gain, 0.8, 0.01);
+  EXPECT_EQ(record->observations, 50u);
+}
+
+TEST_F(TrustEngineTest, ReportOutcomeFeedsReverseEvaluator) {
+  engine_.ReportOutcome(0, 1, gps_, {true, 0.5, 0.0, 0.1},
+                        /*trustor_was_abusive=*/true);
+  engine_.ReportOutcome(0, 1, gps_, {true, 0.5, 0.0, 0.1},
+                        /*trustor_was_abusive=*/false);
+  const UsageHistory* history =
+      engine_.reverse_evaluator().FindHistory(/*trustee=*/1, /*trustor=*/0);
+  ASSERT_NE(history, nullptr);
+  EXPECT_EQ(history->abusive_uses, 1u);
+  EXPECT_EQ(history->responsive_uses, 1u);
+}
+
+TEST_F(TrustEngineTest, RequestDelegationPicksBestTrustee) {
+  engine_.store().Put(0, 1, gps_, {0.9, 0.9, 0.1, 0.1});
+  engine_.store().Put(0, 2, gps_, {0.6, 0.6, 0.3, 0.3});
+  const auto result = engine_.RequestDelegation(0, gps_, {1, 2});
+  EXPECT_EQ(result.trustee, 1u);
+  EXPECT_FALSE(result.unavailable);
+}
+
+TEST_F(TrustEngineTest, RequestDelegationHonorsReverseEvaluation) {
+  engine_.store().Put(0, 1, gps_, {0.9, 0.9, 0.1, 0.1});
+  engine_.store().Put(0, 2, gps_, {0.6, 0.6, 0.3, 0.3});
+  // Trustee 1 has seen only abusive behavior from trustor 0.
+  engine_.reverse_evaluator().SetThreshold(1, kNoTask, 0.6);
+  for (int i = 0; i < 10; ++i) {
+    engine_.reverse_evaluator().RecordUsage(1, 0, /*abusive=*/true);
+  }
+  const auto result = engine_.RequestDelegation(0, gps_, {1, 2});
+  EXPECT_EQ(result.trustee, 2u);
+  EXPECT_EQ(result.refusals, (std::vector<AgentId>{1}));
+}
+
+TEST_F(TrustEngineTest, RequestDelegationUnavailableWhenAllRefuse) {
+  engine_.reverse_evaluator().SetDefaultThreshold(0.99);
+  const auto result = engine_.RequestDelegation(0, gps_, {1, 2});
+  EXPECT_TRUE(result.unavailable);
+  EXPECT_EQ(result.trustee, kNoAgent);
+  EXPECT_EQ(result.refusals.size(), 2u);
+}
+
+TEST_F(TrustEngineTest, RequestDelegationSkipsSelf) {
+  engine_.store().Put(0, 0, gps_, {1.0, 1.0, 0.0, 0.0});
+  const auto result = engine_.RequestDelegation(0, gps_, {0});
+  EXPECT_TRUE(result.unavailable);
+}
+
+TEST_F(TrustEngineTest, EnvironmentAwarePostEvaluation) {
+  // Hostile environment at the trustee: failures are forgiven (de-biased
+  // sample = 0 either way, but successes count extra; over many rounds the
+  // estimate tracks intrinsic competence, not observed rate). Note Eq. 19
+  // puts weight (1−β) on the new sample, so a long-memory average needs a
+  // β close to 1.
+  TrustEngineConfig slow = MakeConfig();
+  slow.beta = ForgettingFactors::Uniform(0.9);
+  TrustEngine env_engine(slow);
+  env_engine.environment().SetIndicator(1, 0.5);
+  TrustEngineConfig plain_config = slow;
+  plain_config.environment_aware = false;
+  TrustEngine plain_engine(plain_config);
+  const TaskId task =
+      env_engine.catalog().AddUniform("gps", {0}).value();
+  const TaskId task2 =
+      plain_engine.catalog().AddUniform("gps", {0}).value();
+  // Alternate success/failure (observed rate 0.5 under env 0.5 ->
+  // intrinsic 1.0).
+  for (int i = 0; i < 400; ++i) {
+    const bool success = (i % 2 == 0);
+    env_engine.ReportOutcome(0, 1, task, {success, 0.0, 0.0, 0.0});
+    plain_engine.ReportOutcome(0, 1, task2, {success, 0.0, 0.0, 0.0});
+  }
+  const double env_aware =
+      env_engine.store().Find(0, 1, task)->estimates.success_rate;
+  const double not_aware =
+      plain_engine.store().Find(0, 1, task2)->estimates.success_rate;
+  EXPECT_NEAR(env_aware, 1.0, 0.15);
+  EXPECT_NEAR(not_aware, 0.5, 0.1);
+}
+
+TEST_F(TrustEngineTest, DirectTrustworthinessOnlyFromRecords) {
+  EXPECT_FALSE(engine_.DirectTrustworthiness(0, 1, gps_).has_value());
+  engine_.store().Put(0, 1, gps_, {1.0, 1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(engine_.DirectTrustworthiness(0, 1, gps_).value(), 1.0);
+}
+
+// End-to-end: repeated abusive use of a trustee's resources eventually
+// locks the abuser out once the trustee sets a meaningful threshold.
+TEST_F(TrustEngineTest, AbuserEventuallyLockedOut) {
+  engine_.reverse_evaluator().SetDefaultThreshold(0.4);
+  engine_.store().Put(0, 1, gps_, {0.9, 0.9, 0.1, 0.1});
+  bool locked_out = false;
+  for (int round = 0; round < 20 && !locked_out; ++round) {
+    const auto result = engine_.RequestDelegation(0, gps_, {1});
+    if (result.unavailable) {
+      locked_out = true;
+      break;
+    }
+    engine_.ReportOutcome(0, 1, gps_, {true, 0.5, 0.0, 0.1},
+                          /*trustor_was_abusive=*/true);
+  }
+  EXPECT_TRUE(locked_out);
+}
+
+}  // namespace
+}  // namespace siot::trust

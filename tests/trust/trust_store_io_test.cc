@@ -1,0 +1,117 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "trust/trust_store_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace siot::trust {
+namespace {
+
+TrustStore MakeStore(std::uint64_t seed, std::size_t records) {
+  Rng rng(seed);
+  TrustStore store;
+  for (std::size_t i = 0; i < records; ++i) {
+    const auto trustor = static_cast<AgentId>(rng.NextBounded(20));
+    const auto trustee = static_cast<AgentId>(rng.NextBounded(20));
+    const auto task = static_cast<TaskId>(rng.NextBounded(5));
+    store.Put(trustor, trustee, task,
+              {rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+               rng.NextDouble()});
+    TrustRecord& record = store.GetOrCreate(trustor, trustee, task);
+    record.observations = rng.NextBounded(100);
+  }
+  return store;
+}
+
+TEST(TrustStoreIoTest, RoundTripExact) {
+  const TrustStore original = MakeStore(1, 40);
+  TrustStore loaded;
+  ASSERT_TRUE(
+      DeserializeTrustStore(SerializeTrustStore(original), &loaded).ok());
+  EXPECT_EQ(loaded.size(), original.size());
+  for (const auto& [key, record] : original.AllRecords()) {
+    const auto found = loaded.Find(key.trustor, key.trustee, key.task);
+    ASSERT_TRUE(found.has_value());
+    // %.17g round-trips doubles exactly.
+    EXPECT_EQ(found->estimates, record.estimates);
+    EXPECT_EQ(found->observations, record.observations);
+  }
+}
+
+TEST(TrustStoreIoTest, SerializationIsCanonical) {
+  // Same logical content -> identical bytes regardless of insert order.
+  TrustStore a, b;
+  a.Put(1, 2, 0, {0.5, 0.5, 0.5, 0.5});
+  a.Put(0, 1, 1, {0.25, 0.5, 0.75, 1.0});
+  b.Put(0, 1, 1, {0.25, 0.5, 0.75, 1.0});
+  b.Put(1, 2, 0, {0.5, 0.5, 0.5, 0.5});
+  EXPECT_EQ(SerializeTrustStore(a), SerializeTrustStore(b));
+}
+
+TEST(TrustStoreIoTest, EmptyStore) {
+  TrustStore store;
+  TrustStore loaded;
+  ASSERT_TRUE(
+      DeserializeTrustStore(SerializeTrustStore(store), &loaded).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(TrustStoreIoTest, CommentsAndBlanksAccepted) {
+  TrustStore store;
+  ASSERT_TRUE(DeserializeTrustStore(
+                  "# header\n\nrecord 1 2 3 0.5 0.5 0.5 0.5 7 # tail\n",
+                  &store)
+                  .ok());
+  ASSERT_TRUE(store.Has(1, 2, 3));
+  EXPECT_EQ(store.Find(1, 2, 3)->observations, 7u);
+}
+
+TEST(TrustStoreIoTest, MalformedInputRejected) {
+  TrustStore store;
+  EXPECT_TRUE(DeserializeTrustStore("bogus 1 2\n", &store)
+                  .code() == StatusCode::kCorruption);
+  EXPECT_TRUE(DeserializeTrustStore("record 1 2 3 0.5\n", &store)
+                  .code() == StatusCode::kCorruption);
+  EXPECT_TRUE(DeserializeTrustStore("record 1 2 3 x 0.5 0.5 0.5 1\n",
+                                    &store)
+                  .code() == StatusCode::kCorruption);
+  EXPECT_TRUE(DeserializeTrustStore("record -1 2 3 0.5 0.5 0.5 0.5 1\n",
+                                    &store)
+                  .code() == StatusCode::kCorruption);
+  EXPECT_TRUE(
+      DeserializeTrustStore("record 1 2 3 0.5 0.5 0.5 0.5 1\n", nullptr)
+          .IsInvalidArgument());
+}
+
+TEST(TrustStoreIoTest, LoadOverwritesMatchingKeys) {
+  TrustStore store;
+  store.Put(1, 2, 3, {0.1, 0.1, 0.1, 0.1});
+  ASSERT_TRUE(DeserializeTrustStore(
+                  "record 1 2 3 0.9 0.9 0.9 0.9 5\n", &store)
+                  .ok());
+  EXPECT_DOUBLE_EQ(store.Find(1, 2, 3)->estimates.success_rate, 0.9);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TrustStoreIoTest, FileRoundTrip) {
+  const TrustStore original = MakeStore(2, 25);
+  const std::string path = ::testing::TempDir() + "/siot_store_test.txt";
+  ASSERT_TRUE(SaveTrustStore(original, path).ok());
+  TrustStore loaded;
+  ASSERT_TRUE(LoadTrustStore(path, &loaded).ok());
+  EXPECT_EQ(SerializeTrustStore(loaded), SerializeTrustStore(original));
+  std::remove(path.c_str());
+}
+
+TEST(TrustStoreIoTest, MissingFileIsIoError) {
+  TrustStore store;
+  EXPECT_EQ(LoadTrustStore("/no/such/file", &store).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace siot::trust
