@@ -1,0 +1,34 @@
+#!/bin/sh
+# Smoke test for the siot_experiments CLI.
+#
+# Usage: siot_experiments_smoke.sh <binary> <config-file>
+#
+# Runs the binary with the given seed config and asserts that it exits 0
+# and prints a non-empty table (title, header, separator, >=1 data row).
+set -u
+
+binary="$1"
+config="$2"
+
+out="$("$binary" "config=$config" 2>&1)"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: exit code $status" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+lines=$(printf '%s\n' "$out" | grep -c .)
+if [ "$lines" -lt 4 ]; then
+  echo "FAIL: expected a table (>=4 non-empty lines), got $lines:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+if ! printf '%s\n' "$out" | grep -q -- '---'; then
+  echo "FAIL: output has no table header separator:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+exit 0

@@ -1,0 +1,32 @@
+#!/bin/sh
+# clang-format dry-run over every C++ file in the tree.
+#
+# Exits non-zero if any file would be reformatted. Override the binary with
+# CLANG_FORMAT=/path/to/clang-format (e.g. a pinned major version in CI).
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+clang_format="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "error: '$clang_format' not found; install clang-format or set CLANG_FORMAT" >&2
+  exit 127
+fi
+
+# shellcheck disable=SC2046
+files=$(find "$repo_root/src" "$repo_root/tests" "$repo_root/bench" \
+             "$repo_root/examples" "$repo_root/tools" \
+             -name '*.cc' -o -name '*.cpp' -o -name '*.h')
+
+status=0
+for f in $files; do
+  if ! "$clang_format" --dry-run --Werror "$f" >/dev/null; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run: $clang_format -i <file> (style: $repo_root/.clang-format)" >&2
+fi
+exit $status

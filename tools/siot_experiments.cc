@@ -15,6 +15,7 @@
 // Prints the experiment's headline metrics as an aligned table and exits
 // non-zero on configuration errors.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -143,8 +144,11 @@ Status RunEnvironment(const Config& config) {
   TextTable table("Environment tracking (Fig. 15 setup)");
   table.SetHeader(
       {"iteration", "expected", "no-env", "traditional", "proposed"});
-  for (std::size_t t = 0; t < result.iteration.size();
-       t += result.iteration.size() / 10) {
+  const std::size_t step =
+      std::max<std::size_t>(result.iteration.size() / 10, 1);
+  for (std::size_t t = 0; t < result.iteration.size(); t += step) {
+    // Always include the final (converged) iteration Fig. 15 cares about.
+    if (t + step >= result.iteration.size()) t = result.iteration.size() - 1;
     table.AddRow({FormatDouble(result.iteration[t], 0),
                   FormatDouble(result.expected[t], 3),
                   FormatDouble(result.no_environment[t], 3),
