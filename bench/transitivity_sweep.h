@@ -21,7 +21,10 @@ struct SweepPoint {
   sim::TransitivityResult result;
 };
 
-inline std::vector<SweepPoint> RunTransitivitySweep(std::uint64_t seed) {
+/// Runs the full sweep. `threads` feeds sim::ParallelRunner inside each
+/// experiment run; the results are bit-identical for every thread count.
+inline std::vector<SweepPoint> RunTransitivitySweep(std::uint64_t seed,
+                                                    std::size_t threads = 1) {
   std::vector<SweepPoint> points;
   for (const graph::SocialNetwork network : graph::kAllNetworks) {
     const graph::SocialDataset dataset = graph::LoadDataset(network);
@@ -30,6 +33,7 @@ inline std::vector<SweepPoint> RunTransitivitySweep(std::uint64_t seed) {
       config.world.characteristic_count = chars;
       config.requests_per_trustor = 3;
       config.seed = seed;
+      config.threads = threads;
       points.push_back(
           {network, chars, sim::RunTransitivityExperiment(dataset, config)});
     }

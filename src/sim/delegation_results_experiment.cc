@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "sim/parallel_runner.h"
 
 namespace siot::sim {
 
@@ -59,50 +60,63 @@ DelegationResultsOutcome RunDelegationResultsExperiment(
   DelegationResultsOutcome outcome;
   outcome.network = dataset.network;
 
+  const std::uint64_t strategy_seed_base = rng.Next();
+  ParallelRunner runner(config.threads);
+
   for (const trust::SelectionStrategy strategy :
        {trust::SelectionStrategy::kMaxSuccessRate,
         trust::SelectionStrategy::kMaxNetProfit}) {
-    // Estimates start random: the trustor initially misjudges everyone and
-    // must learn the trustees' behavior from delegation results.
-    Rng init_rng = rng.Fork(11);
-    std::unordered_map<std::uint64_t, trust::OutcomeEstimates> estimates;
-    for (trust::AgentId x : population.trustors) {
-      for (trust::AgentId y : candidate_pool) {
-        const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
-        estimates[key] = {init_rng.NextDouble(), init_rng.NextDouble(),
-                          init_rng.NextDouble(), init_rng.NextDouble()};
-      }
+    const std::uint64_t strategy_seed = MixSeed(
+        strategy_seed_base, static_cast<std::uint64_t>(strategy) + 17);
+    // Each trustor's learning loop touches only its own estimates, so the
+    // trustors run in parallel; per-trustor profit traces are merged in
+    // trustor order afterwards to keep the output bit-identical for every
+    // thread count.
+    std::vector<std::vector<double>> profits(population.trustors.size());
+    if (!candidate_pool.empty()) {
+      runner.ForEach(
+          population.trustors.size(),
+          [&](std::size_t index, std::size_t /*worker*/) {
+            const trust::AgentId x = population.trustors[index];
+            Rng trustor_rng = DeriveStream(strategy_seed, x);
+            // Estimates start random: the trustor initially misjudges
+            // everyone and must learn the trustees' behavior from
+            // delegation results.
+            std::vector<trust::OutcomeEstimates> estimates(
+                candidate_pool.size());
+            for (auto& est : estimates) {
+              est = {trustor_rng.NextDouble(), trustor_rng.NextDouble(),
+                     trustor_rng.NextDouble(), trustor_rng.NextDouble()};
+            }
+            std::vector<double>& profit_trace = profits[index];
+            profit_trace.resize(config.iterations);
+            for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+              // Select by strategy.
+              const auto best =
+                  trust::SelectBestCandidate(estimates, strategy);
+              SIOT_CHECK(best.ok());
+              const trust::AgentId y = candidate_pool[best.value()];
+              // Delegate and observe.
+              const PairTruth& t = truth(y);
+              const bool success = trustor_rng.Bernoulli(t.success_rate);
+              const double profit =
+                  success ? t.gain - t.cost : -t.damage - t.cost;
+              profit_trace[iter] = profit;
+              // Post-evaluation (Eqs. 19–22).
+              trust::DelegationOutcome observed;
+              observed.success = success;
+              observed.gain = success ? t.gain : 0.0;
+              observed.damage = success ? 0.0 : t.damage;
+              observed.cost = t.cost;
+              estimates[best.value()] = trust::UpdateEstimates(
+                  estimates[best.value()], observed, beta);
+            }
+          });
     }
-
-    Rng run_rng = rng.Fork(static_cast<std::uint64_t>(strategy) + 17);
     IterationTrace trace(config.iterations);
-    std::vector<trust::OutcomeEstimates> scored(candidate_pool.size());
-    for (std::size_t iter = 0; iter < config.iterations; ++iter) {
-      for (trust::AgentId x : population.trustors) {
-        if (candidate_pool.empty()) continue;
-        // Select by strategy.
-        for (std::size_t i = 0; i < candidate_pool.size(); ++i) {
-          scored[i] = estimates[(static_cast<std::uint64_t>(x) << 32) |
-                                candidate_pool[i]];
-        }
-        const auto best = trust::SelectBestCandidate(scored, strategy);
-        SIOT_CHECK(best.ok());
-        const trust::AgentId y = candidate_pool[best.value()];
-        const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
-        // Delegate and observe.
-        const PairTruth& t = truth(y);
-        const bool success = run_rng.Bernoulli(t.success_rate);
-        const double profit =
-            success ? t.gain - t.cost : -t.damage - t.cost;
-        trace.Add(iter, profit);
-        // Post-evaluation (Eqs. 19–22).
-        trust::DelegationOutcome observed;
-        observed.success = success;
-        observed.gain = success ? t.gain : 0.0;
-        observed.damage = success ? 0.0 : t.damage;
-        observed.cost = t.cost;
-        estimates[key] =
-            trust::UpdateEstimates(estimates[key], observed, beta);
+    for (const std::vector<double>& profit_trace : profits) {
+      for (std::size_t iter = 0; iter < profit_trace.size(); ++iter) {
+        trace.Add(iter, profit_trace[iter]);
       }
     }
 

@@ -30,6 +30,11 @@ struct DelegationResultsConfig {
   std::size_t trace_points = 60;
   PopulationConfig population;
   std::uint64_t seed = 1;
+  /// Worker threads across trustors (0 = hardware concurrency). Each
+  /// trustor's learning loop is independent (it only reads its own
+  /// estimates) and runs on an RNG stream derived from the seed, so
+  /// results are bit-identical for every thread count.
+  std::size_t threads = 1;
 };
 
 /// One strategy's profit trace.

@@ -2,9 +2,8 @@
 
 #include "sim/mutuality_experiment.h"
 
-#include <unordered_map>
-
 #include "common/macros.h"
+#include "sim/parallel_runner.h"
 #include "trust/mutual.h"
 
 namespace siot::sim {
@@ -24,31 +23,37 @@ MutualityResult RunMutualityExperiment(const graph::SocialDataset& dataset,
   for (trust::AgentId x : population.trustors) {
     legitimacy[x] = rng.NextDouble();
   }
-  // Forward trustworthiness the trustor assigns each trustee (pre-
-  // evaluation); fixed per pair so candidate ranking is stable.
-  std::unordered_map<std::uint64_t, double> forward_tw;
-  auto forward = [&](trust::AgentId x, trust::AgentId y) {
-    const std::uint64_t key = (static_cast<std::uint64_t>(x) << 32) | y;
-    auto [it, inserted] = forward_tw.try_emplace(key, 0.0);
-    if (inserted) it->second = rng.NextDouble();
-    return it->second;
-  };
+  // Forward trustworthiness the trustor assigns each adjacent trustee
+  // (pre-evaluation); drawn once up front so every θ point ranks the same
+  // candidates identically, and shared read-only across workers.
+  std::vector<std::vector<trust::ScoredCandidate>> candidates(
+      graph.node_count());
+  for (trust::AgentId x : population.trustors) {
+    for (trust::AgentId y : graph.Neighbors(x)) {
+      if (!population.IsTrustee(y)) continue;
+      candidates[x].push_back({y, rng.NextDouble()});
+    }
+  }
+  const std::uint64_t theta_seed = rng.Next();
 
   const trust::TaskId task = 0;  // single task type τ in this experiment
 
-  for (double theta : config.thetas) {
+  result.points.resize(config.thetas.size());
+  ParallelRunner runner(config.threads);
+  runner.ForEach(config.thetas.size(), [&](std::size_t index,
+                                           std::size_t /*worker*/) {
+    const double theta = config.thetas[index];
     // Fresh reverse evaluator per θ; one θ for every trustee.
     trust::ReverseEvaluator evaluator;
     evaluator.SetDefaultThreshold(theta);
-    Rng theta_rng = rng.Fork(static_cast<std::uint64_t>(theta * 1000.0));
+    Rng theta_rng = DeriveStream(theta_seed, index);
 
     // Warm-up: trustees accumulate usage statistics about adjacent
     // trustors (responsible with probability = legitimacy).
     for (trust::AgentId x : population.trustors) {
-      for (trust::AgentId y : graph.Neighbors(x)) {
-        if (!population.IsTrustee(y)) continue;
+      for (const trust::ScoredCandidate& candidate : candidates[x]) {
         for (std::size_t u = 0; u < config.warmup_uses; ++u) {
-          evaluator.RecordUsage(y, x,
+          evaluator.RecordUsage(candidate.agent, x,
                                 !theta_rng.Bernoulli(legitimacy[x]));
         }
       }
@@ -58,13 +63,9 @@ MutualityResult RunMutualityExperiment(const graph::SocialDataset& dataset,
     MutualityPoint point;
     point.theta = theta;
     for (trust::AgentId x : population.trustors) {
-      std::vector<trust::ScoredCandidate> candidates;
-      for (trust::AgentId y : graph.Neighbors(x)) {
-        if (population.IsTrustee(y)) candidates.push_back({y, forward(x, y)});
-      }
       for (std::size_t r = 0; r < config.requests_per_trustor; ++r) {
         const trust::MutualSelection selection =
-            trust::SelectTrusteeMutually(evaluator, x, task, candidates);
+            trust::SelectTrusteeMutually(evaluator, x, task, candidates[x]);
         if (selection.trustee == trust::kNoAgent) {
           point.tally.AddUnavailable();
           continue;
@@ -76,8 +77,8 @@ MutualityResult RunMutualityExperiment(const graph::SocialDataset& dataset,
         evaluator.RecordUsage(selection.trustee, x, abusive);
       }
     }
-    result.points.push_back(point);
-  }
+    result.points[index] = point;
+  });
   return result;
 }
 

@@ -28,6 +28,12 @@ struct MutualityConfig {
   std::size_t requests_per_trustor = 10;
   PopulationConfig population;
   std::uint64_t seed = 1;
+  /// Worker threads across the θ sweep points (0 = hardware concurrency).
+  /// Each θ is an independent simulation with its own RNG stream derived
+  /// from the seed, so results are bit-identical for every thread count.
+  /// (Within one θ the reverse-evaluation feedback loop is inherently
+  /// sequential — each acceptance sharpens the next decision.)
+  std::size_t threads = 1;
 };
 
 /// One θ's measured rates.

@@ -1,0 +1,83 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/parallel_runner.h"
+
+#include <algorithm>
+
+namespace siot::sim {
+
+ParallelRunner::ParallelRunner(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t w = 1; w < threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelRunner::RunJob(Job& job, std::size_t worker_id) {
+  for (;;) {
+    const std::size_t item =
+        job.next.fetch_add(1, std::memory_order_relaxed);
+    if (item >= job.count) break;
+    (*job.body)(item, worker_id);
+  }
+}
+
+void ParallelRunner::WorkerLoop(std::size_t worker_id) {
+  std::uint64_t seen_serial = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || job_serial_ != seen_serial;
+      });
+      if (stopping_) return;
+      seen_serial = job_serial_;
+      job = job_;
+    }
+    RunJob(*job, worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++job->workers_done;
+    }
+    work_done_.notify_one();
+  }
+}
+
+void ParallelRunner::ForEach(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (workers_.empty()) {
+    for (std::size_t item = 0; item < count; ++item) body(item, 0);
+    return;
+  }
+  Job job;
+  job.count = count;
+  job.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++job_serial_;
+  }
+  work_ready_.notify_all();
+  // The calling thread participates as worker 0.
+  RunJob(job, 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock,
+                  [&] { return job.workers_done == workers_.size(); });
+  job_ = nullptr;
+}
+
+}  // namespace siot::sim

@@ -2,7 +2,11 @@
 
 #include "sim/transitivity_experiment.h"
 
+#include <functional>
+
 #include "common/macros.h"
+#include "sim/parallel_runner.h"
+#include "trust/overlay_snapshot.h"
 
 namespace siot::sim {
 
@@ -14,6 +18,19 @@ const TransitivityMethodResult& TransitivityResult::ForMethod(
   SIOT_CHECK_MSG(false, "method not present in result");
   return methods.front();
 }
+
+namespace {
+
+/// Per-trustor measurement slot — each parallel work item writes only its
+/// own slot; aggregation walks the slots in trustor order.
+struct TrustorStats {
+  DelegationTally tally;
+  std::size_t inquired = 0;
+  std::size_t potential_sum = 0;
+  std::size_t samples = 0;
+};
+
+}  // namespace
 
 TransitivityResult RunTransitivityExperiment(
     const graph::SocialDataset& dataset, const TransitivityConfig& config) {
@@ -38,53 +55,89 @@ TransitivityResult RunTransitivityExperiment(
       requests[x].push_back(world.SampleRequest(rng));
     }
   }
+  const std::uint64_t outcome_seed = rng.Next();
+
+  // Materialize the direct-experience overlay once, build ONE
+  // snapshot-backed search over it, and precompute the per-task hop caches
+  // for every requested task — the builds are independent, so they fan out
+  // over the runner. After preparation every query only reads the caches,
+  // so all workers (and all three methods) share the single search.
+  const trust::TrustOverlaySnapshot snapshot(graph, world);
+  ParallelRunner runner(config.threads);
+
+  trust::TransitivityParams params;
+  params.omega1 = config.omega1;
+  params.omega2 = config.omega2;
+  params.max_hops = config.max_hops;
+  params.trustee_eligible = [&population](trust::AgentId agent) {
+    return population.IsTrustee(agent);
+  };
+  trust::TransitivitySearch search(snapshot, world.catalog(), params);
+  {
+    std::vector<trust::TaskId> requested;
+    for (trust::AgentId x : population.trustors) {
+      requested.insert(requested.end(), requests[x].begin(),
+                       requests[x].end());
+    }
+    search.PrepareTasks(
+        requested,
+        [&runner](std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+          runner.ForEach(count, [&fn](std::size_t item, std::size_t) {
+            fn(item);
+          });
+        });
+  }
 
   TransitivityResult result;
   result.network = dataset.network;
   result.characteristic_count = config.world.characteristic_count;
 
   for (const trust::TransitivityMethod method : kAllTransitivityMethods) {
-    trust::TransitivityParams params;
-    params.omega1 = config.omega1;
-    params.omega2 = config.omega2;
-    params.max_hops = config.max_hops;
-    params.trustee_eligible = [&population](trust::AgentId agent) {
-      return population.IsTrustee(agent);
-    };
-    const trust::TransitivitySearch search(graph, world.catalog(), world,
-                                           params);
+    const std::uint64_t method_seed =
+        MixSeed(outcome_seed, static_cast<std::uint64_t>(method) + 100);
+    std::vector<TrustorStats> stats(population.trustors.size());
+    runner.ForEach(
+        population.trustors.size(),
+        [&](std::size_t index, std::size_t /*worker*/) {
+          const trust::AgentId x = population.trustors[index];
+          Rng outcome_rng = DeriveStream(method_seed, x);
+          TrustorStats& slot = stats[index];
+          for (const trust::TaskId request : requests[x]) {
+            const trust::Task& task = world.catalog().Get(request);
+            const trust::TransitivityResult found =
+                search.FindPotentialTrustees(x, task, method);
+            slot.inquired += found.inquired_nodes;
+            slot.potential_sum += found.trustees.size();
+            ++slot.samples;
+            if (found.trustees.empty()) {
+              slot.tally.AddUnavailable();
+              continue;
+            }
+            // Delegate to the potential trustee with the highest
+            // transferred trustworthiness; the outcome follows its hidden
+            // competence.
+            const trust::AgentId chosen = found.trustees.front().agent;
+            const bool success =
+                outcome_rng.Bernoulli(world.Competence(chosen, request));
+            if (success) {
+              slot.tally.AddSuccess(/*abusive=*/false);
+            } else {
+              slot.tally.AddFailure(/*abusive=*/false);
+            }
+          }
+        });
 
     TransitivityMethodResult method_result;
     method_result.method = method;
-    Rng outcome_rng = rng.Fork(static_cast<std::uint64_t>(method) + 100);
     std::size_t potential_sum = 0;
     std::size_t potential_samples = 0;
-
-    for (trust::AgentId x : population.trustors) {
-      std::size_t inquired_total = 0;
-      for (const trust::TaskId request : requests[x]) {
-        const trust::Task& task = world.catalog().Get(request);
-        const trust::TransitivityResult found =
-            search.FindPotentialTrustees(x, task, method);
-        inquired_total += found.inquired_nodes;
-        potential_sum += found.trustees.size();
-        ++potential_samples;
-        if (found.trustees.empty()) {
-          method_result.tally.AddUnavailable();
-          continue;
-        }
-        // Delegate to the potential trustee with the highest transferred
-        // trustworthiness; the outcome follows its hidden competence.
-        const trust::AgentId chosen = found.trustees.front().agent;
-        const bool success =
-            outcome_rng.Bernoulli(world.Competence(chosen, request));
-        if (success) {
-          method_result.tally.AddSuccess(/*abusive=*/false);
-        } else {
-          method_result.tally.AddFailure(/*abusive=*/false);
-        }
-      }
-      method_result.inquired_per_trustor.push_back(inquired_total);
+    method_result.inquired_per_trustor.reserve(stats.size());
+    for (const TrustorStats& slot : stats) {
+      method_result.tally.Merge(slot.tally);
+      method_result.inquired_per_trustor.push_back(slot.inquired);
+      potential_sum += slot.potential_sum;
+      potential_samples += slot.samples;
     }
     method_result.avg_potential_trustees =
         potential_samples == 0

@@ -49,6 +49,10 @@ struct TransitivityConfig {
   bool use_features = false;
   PopulationConfig population;
   std::uint64_t seed = 1;
+  /// Worker threads for the per-trustor search loop (0 = hardware
+  /// concurrency). Results are bit-identical for every thread count:
+  /// outcome RNG streams are derived per trustor from the seed.
+  std::size_t threads = 1;
 };
 
 /// Per-method measurements.

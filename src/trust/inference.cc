@@ -61,11 +61,12 @@ StatusOr<double> InferFromStore(const TaskCatalog& catalog,
                                 const Normalizer& normalizer, AgentId trustor,
                                 AgentId trustee, const Task& target) {
   std::vector<TaskExperience> experiences;
-  for (TaskId task : store.ExperiencedTasks(trustor, trustee)) {
-    const auto tw = store.Trustworthiness(trustor, trustee, task, normalizer);
-    if (tw.has_value()) {
-      experiences.push_back({task, *tw});
-    }
+  const auto records = store.PairRecords(trustor, trustee);
+  experiences.reserve(records.size());
+  for (const PairTaskRecord& entry : records) {
+    experiences.push_back(
+        {entry.task,
+         TrustworthinessFromEstimates(entry.record.estimates, normalizer)});
   }
   return InferTrustworthiness(catalog, target, experiences);
 }

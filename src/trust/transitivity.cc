@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "trust/overlay_snapshot.h"
 
 namespace siot::trust {
 
@@ -44,46 +45,13 @@ std::string_view TransitivityMethodName(TransitivityMethod method) {
 std::vector<TaskExperience> StoreTrustOverlay::DirectExperience(
     AgentId observer, AgentId subject) const {
   std::vector<TaskExperience> out;
-  for (TaskId task : store_.ExperiencedTasks(observer, subject)) {
-    const auto tw = store_.Trustworthiness(observer, subject, task,
-                                           normalizer_);
-    if (tw.has_value()) out.push_back({task, *tw});
+  const auto records = store_.PairRecords(observer, subject);
+  out.reserve(records.size());
+  for (const PairTaskRecord& entry : records) {
+    out.push_back({entry.task, TrustworthinessFromEstimates(
+                                   entry.record.estimates, normalizer_)});
   }
   return out;
-}
-
-TransitivitySearch::TransitivitySearch(const graph::Graph& graph,
-                                       const TaskCatalog& catalog,
-                                       const TrustOverlay& overlay,
-                                       TransitivityParams params)
-    : graph_(graph), catalog_(catalog), overlay_(overlay),
-      params_(std::move(params)) {
-  // The hop-relaxation below takes per-node maxima, which is exactly
-  // optimal when every propagated hop value is >= 0.5 (Eq. 7 is then
-  // monotone in its accumulated argument) — guaranteed when ω1 >= 0.5.
-  // Below 0.5 the search still finds exactly the right set of potential
-  // trustees (coverage and gating are unaffected); only the reported
-  // trustworthiness magnitudes become a greedy approximation.
-  SIOT_CHECK_MSG(params_.omega1 >= 0.0 && params_.omega1 <= 1.0,
-                 "omega1=%f must be in [0, 1]", params_.omega1);
-  SIOT_CHECK_MSG(params_.omega2 >= 0.0 && params_.omega2 <= 1.0,
-                 "omega2=%f must be in [0, 1]", params_.omega2);
-  SIOT_CHECK(params_.max_hops >= 1);
-}
-
-TransitivityResult TransitivitySearch::FindPotentialTrustees(
-    AgentId trustor, const Task& task, TransitivityMethod method) const {
-  SIOT_CHECK(trustor < graph_.node_count());
-  switch (method) {
-    case TransitivityMethod::kTraditional:
-      return SearchTraditional(trustor, task);
-    case TransitivityMethod::kConservative:
-      return SearchCharacteristicBased(trustor, task, /*conservative=*/true);
-    case TransitivityMethod::kAggressive:
-      return SearchCharacteristicBased(trustor, task,
-                                       /*conservative=*/false);
-  }
-  return {};
 }
 
 namespace {
@@ -101,10 +69,163 @@ struct HopInfo {
   double exact_task = kUnset;
 };
 
+HopInfo MakeHopInfo(const TaskCatalog& catalog, const Task& task,
+                    const std::vector<TaskExperience>& experiences) {
+  HopInfo info;
+  const std::size_t parts = task.parts().size();
+  const PartialInference inference = PartialInfer(catalog, task, experiences);
+  info.per_characteristic.assign(parts, kUnset);
+  for (std::size_t i = 0; i < parts; ++i) {
+    const CharacteristicId c = task.parts()[i].id;
+    if ((inference.covered >> c) & 1ull) {
+      info.per_characteristic[i] = inference.per_characteristic[i];
+    }
+  }
+  info.complete = inference.complete;
+  for (const TaskExperience& exp : experiences) {
+    if (exp.task == task.id()) {
+      info.exact_task = exp.trustworthiness;
+      break;
+    }
+  }
+  return info;
+}
+
+void BuildExactCache(const TrustOverlaySnapshot& snapshot, const Task& task,
+                     std::vector<double>& exact) {
+  const std::size_t edges = snapshot.directed_edge_count();
+  exact.assign(edges, kUnset);
+  for (std::size_t e = 0; e < edges; ++e) {
+    for (const TaskExperience& exp : snapshot.Experiences(e)) {
+      if (exp.task == task.id()) {
+        exact[e] = exp.trustworthiness;
+        break;
+      }
+    }
+  }
+}
+
+void BuildHopCache(const TrustOverlaySnapshot& snapshot,
+                   const TaskCatalog& catalog, const Task& task,
+                   std::vector<HopInfo>& hops) {
+  const std::size_t edges = snapshot.directed_edge_count();
+  hops.clear();
+  hops.resize(edges);
+  std::vector<TaskExperience> experiences;
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto span = snapshot.Experiences(e);
+    experiences.assign(span.begin(), span.end());
+    hops[e] = MakeHopInfo(catalog, task, experiences);
+  }
+}
+
+void ValidateParams(const TransitivityParams& params) {
+  // The hop-relaxation takes per-node maxima, which is exactly optimal
+  // when every propagated hop value is >= 0.5 (Eq. 7 is then monotone in
+  // its accumulated argument) — guaranteed when ω1 >= 0.5. Below 0.5 the
+  // search still finds exactly the right set of potential trustees
+  // (coverage and gating are unaffected); only the reported
+  // trustworthiness magnitudes become a greedy approximation.
+  SIOT_CHECK_MSG(params.omega1 >= 0.0 && params.omega1 <= 1.0,
+                 "omega1=%f must be in [0, 1]", params.omega1);
+  SIOT_CHECK_MSG(params.omega2 >= 0.0 && params.omega2 <= 1.0,
+                 "omega2=%f must be in [0, 1]", params.omega2);
+  SIOT_CHECK(params.max_hops >= 1);
+}
+
 }  // namespace
 
-TransitivityResult TransitivitySearch::SearchTraditional(
-    AgentId trustor, const Task& task) const {
+/// Cross-query caches of per-directed-edge hop information, keyed by task
+/// (snapshot-backed mode only). Vectors are indexed by the snapshot's
+/// dense directed-edge index.
+struct TransitivitySearch::TaskCaches {
+  std::unordered_map<TaskId, std::vector<double>> exact_by_task;
+  std::unordered_map<TaskId, std::vector<HopInfo>> hops_by_task;
+};
+
+TransitivitySearch::TransitivitySearch(const graph::Graph& graph,
+                                       const TaskCatalog& catalog,
+                                       const TrustOverlay& overlay,
+                                       TransitivityParams params)
+    : graph_(graph), catalog_(catalog), overlay_(overlay),
+      params_(std::move(params)) {
+  ValidateParams(params_);
+}
+
+TransitivitySearch::TransitivitySearch(const TrustOverlaySnapshot& snapshot,
+                                       const TaskCatalog& catalog,
+                                       TransitivityParams params)
+    : graph_(snapshot.graph()), catalog_(catalog), overlay_(snapshot),
+      params_(std::move(params)), snapshot_(&snapshot),
+      caches_(std::make_unique<TaskCaches>()) {
+  ValidateParams(params_);
+}
+
+TransitivitySearch::~TransitivitySearch() = default;
+
+void TransitivitySearch::PrepareTasks(const std::vector<TaskId>& tasks,
+                                      const PrepareExecutor& executor) {
+  if (snapshot_ == nullptr) return;
+  std::vector<TaskId> distinct = tasks;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  // Insert the (empty) cache slots serially; the heavy fills then write
+  // only their own slot, so they can run concurrently. unordered_map
+  // values are reference-stable across later insertions.
+  struct Slot {
+    TaskId task = kNoTask;
+    std::vector<double>* exact = nullptr;
+    std::vector<HopInfo>* hops = nullptr;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(distinct.size());
+  for (const TaskId task : distinct) {
+    const auto [exact_it, exact_inserted] =
+        caches_->exact_by_task.try_emplace(task);
+    const auto [hops_it, hops_inserted] =
+        caches_->hops_by_task.try_emplace(task);
+    if (!exact_inserted && !hops_inserted) continue;  // already prepared
+    slots.push_back({task, exact_inserted ? &exact_it->second : nullptr,
+                     hops_inserted ? &hops_it->second : nullptr});
+  }
+  const auto build = [this, &slots](std::size_t i) {
+    const Slot& slot = slots[i];
+    const Task& task = catalog_.Get(slot.task);
+    if (slot.exact != nullptr) {
+      BuildExactCache(*snapshot_, task, *slot.exact);
+    }
+    if (slot.hops != nullptr) {
+      BuildHopCache(*snapshot_, catalog_, task, *slot.hops);
+    }
+  };
+  if (executor) {
+    executor(slots.size(), build);
+  } else {
+    for (std::size_t i = 0; i < slots.size(); ++i) build(i);
+  }
+}
+
+TransitivityResult TransitivitySearch::FindPotentialTrustees(
+    AgentId trustor, const Task& task, TransitivityMethod method) const {
+  SIOT_CHECK(trustor < graph_.node_count());
+  switch (method) {
+    case TransitivityMethod::kTraditional:
+      return SearchTraditional(trustor, task);
+    case TransitivityMethod::kConservative:
+      return SearchCharacteristicBased(trustor, task, /*conservative=*/true);
+    case TransitivityMethod::kAggressive:
+      return SearchCharacteristicBased(trustor, task,
+                                       /*conservative=*/false);
+  }
+  return {};
+}
+
+// `exact_tw(u, v, k)` returns the trustworthiness of the exact task along
+// directed edge (u, v) — v being the k-th neighbor of u — or kUnset.
+template <typename ExactFn>
+TransitivityResult TransitivitySearch::TraditionalImpl(
+    AgentId trustor, const Task& task, ExactFn&& exact_tw) const {
   const std::size_t n = graph_.node_count();
   // best[v]: best Eq. 5 path product from trustor to v over viable hops
   // (every hop holds a record for the exact task).
@@ -112,22 +233,17 @@ TransitivityResult TransitivitySearch::SearchTraditional(
   std::vector<double> next(n, kUnset);
   best[trustor] = 1.0;
 
-  auto exact_tw = [&](AgentId u, AgentId v) -> double {
-    for (const TaskExperience& exp : overlay_.DirectExperience(u, v)) {
-      if (exp.task == task.id()) return exp.trustworthiness;
-    }
-    return kUnset;
-  };
-
   std::vector<bool> reached(n, false);
   for (std::size_t hop = 0; hop < params_.max_hops; ++hop) {
     next = best;
     bool changed = false;
     for (graph::NodeId u = 0; u < n; ++u) {
       if (best[u] == kUnset) continue;
-      for (graph::NodeId v : graph_.Neighbors(u)) {
+      const auto neighbors = graph_.Neighbors(u);
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        const graph::NodeId v = neighbors[k];
         if (v == trustor) continue;
-        const double t = exact_tw(u, v);
+        const double t = exact_tw(u, v, k);
         if (t <= 0.0) continue;  // Eq. 5: positive trust transfers freely
         const double candidate = best[u] * t;
         reached[v] = true;
@@ -163,31 +279,53 @@ TransitivityResult TransitivitySearch::SearchTraditional(
   return result;
 }
 
-TransitivityResult TransitivitySearch::SearchCharacteristicBased(
-    AgentId trustor, const Task& task, bool conservative) const {
+TransitivityResult TransitivitySearch::SearchTraditional(
+    AgentId trustor, const Task& task) const {
+  if (snapshot_ != nullptr) {
+    // A cache hit is a pure read (shared-search concurrency relies on it);
+    // a miss builds the cache in place — single-threaded callers only.
+    auto it = caches_->exact_by_task.find(task.id());
+    if (it == caches_->exact_by_task.end()) {
+      it = caches_->exact_by_task.try_emplace(task.id()).first;
+      BuildExactCache(*snapshot_, task, it->second);
+    }
+    const std::vector<double>& exact = it->second;
+    const TrustOverlaySnapshot& snapshot = *snapshot_;
+    return TraditionalImpl(
+        trustor, task,
+        [&exact, &snapshot](AgentId u, AgentId /*v*/, std::size_t k) {
+          return exact[snapshot.FirstEdge(u) + k];
+        });
+  }
+  // Live overlay: derive exact-task values lazily, once per directed edge
+  // per query.
+  std::unordered_map<std::uint64_t, double> cache;
+  return TraditionalImpl(
+      trustor, task,
+      [this, &task, &cache](AgentId u, AgentId v, std::size_t /*k*/) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+        const auto it = cache.find(key);
+        if (it != cache.end()) return it->second;
+        double t = kUnset;
+        for (const TaskExperience& exp : overlay_.DirectExperience(u, v)) {
+          if (exp.task == task.id()) {
+            t = exp.trustworthiness;
+            break;
+          }
+        }
+        cache.emplace(key, t);
+        return t;
+      });
+}
+
+// `hop_info(u, v, k)` returns the HopInfo of directed edge (u, v) — v
+// being the k-th neighbor of u.
+template <typename HopFn>
+TransitivityResult TransitivitySearch::CharacteristicImpl(
+    AgentId trustor, const Task& task, bool conservative,
+    HopFn&& hop_info) const {
   const std::size_t n = graph_.node_count();
   const std::size_t parts = task.parts().size();
-
-  // Lazy per-directed-hop info cache.
-  std::unordered_map<std::uint64_t, HopInfo> hop_cache;
-  auto hop_info = [&](AgentId u, AgentId v) -> const HopInfo& {
-    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
-    auto it = hop_cache.find(key);
-    if (it != hop_cache.end()) return it->second;
-    HopInfo info;
-    const auto experiences = overlay_.DirectExperience(u, v);
-    const PartialInference inference =
-        PartialInfer(catalog_, task, experiences);
-    info.per_characteristic.assign(parts, kUnset);
-    for (std::size_t i = 0; i < parts; ++i) {
-      const CharacteristicId c = task.parts()[i].id;
-      if ((inference.covered >> c) & 1ull) {
-        info.per_characteristic[i] = inference.per_characteristic[i];
-      }
-    }
-    info.complete = inference.complete;
-    return hop_cache.emplace(key, std::move(info)).first->second;
-  };
 
   // reach[v][i]: best Eq. 7 fold of characteristic i carried to v via
   // recommendation hops (each hop value >= omega1). trustee_val[v][i]: best
@@ -216,9 +354,11 @@ TransitivityResult TransitivitySearch::SearchCharacteristicBased(
         }
         if (!u_active) continue;
       }
-      for (graph::NodeId v : graph_.Neighbors(u)) {
+      const auto neighbors = graph_.Neighbors(u);
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        const graph::NodeId v = neighbors[k];
         if (v == trustor) continue;
-        const HopInfo& info = hop_info(u, v);
+        const HopInfo& info = hop_info(u, v, k);
         // Conservative transitivity requires every hop to cover the whole
         // task (Eq. 8); aggressive lets any covered characteristic hop.
         if (conservative && !info.complete) continue;
@@ -287,6 +427,40 @@ TransitivityResult TransitivitySearch::SearchCharacteristicBased(
               return a.agent < b.agent;
             });
   return result;
+}
+
+TransitivityResult TransitivitySearch::SearchCharacteristicBased(
+    AgentId trustor, const Task& task, bool conservative) const {
+  if (snapshot_ != nullptr) {
+    // A cache hit is a pure read (shared-search concurrency relies on it);
+    // a miss builds the cache in place — single-threaded callers only.
+    auto it = caches_->hops_by_task.find(task.id());
+    if (it == caches_->hops_by_task.end()) {
+      it = caches_->hops_by_task.try_emplace(task.id()).first;
+      BuildHopCache(*snapshot_, catalog_, task, it->second);
+    }
+    const std::vector<HopInfo>& hops = it->second;
+    const TrustOverlaySnapshot& snapshot = *snapshot_;
+    return CharacteristicImpl(
+        trustor, task, conservative,
+        [&hops, &snapshot](AgentId u, AgentId /*v*/,
+                           std::size_t k) -> const HopInfo& {
+          return hops[snapshot.FirstEdge(u) + k];
+        });
+  }
+  // Live overlay: lazy per-directed-hop info cache, one query's lifetime.
+  std::unordered_map<std::uint64_t, HopInfo> hop_cache;
+  return CharacteristicImpl(
+      trustor, task, conservative,
+      [this, &task, &hop_cache](AgentId u, AgentId v,
+                                std::size_t /*k*/) -> const HopInfo& {
+        const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+        const auto it = hop_cache.find(key);
+        if (it != hop_cache.end()) return it->second;
+        HopInfo info =
+            MakeHopInfo(catalog_, task, overlay_.DirectExperience(u, v));
+        return hop_cache.emplace(key, std::move(info)).first->second;
+      });
 }
 
 }  // namespace siot::trust

@@ -28,6 +28,7 @@
 #define SIOT_TRUST_TRANSITIVITY_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -69,7 +70,7 @@ class TrustOverlay {
       AgentId observer, AgentId subject) const = 0;
 };
 
-/// TrustOverlay backed by a TrustStore.
+/// TrustOverlay backed by a TrustStore. One pair-major probe per call.
 class StoreTrustOverlay : public TrustOverlay {
  public:
   StoreTrustOverlay(const TrustStore& store, const Normalizer& normalizer)
@@ -81,6 +82,8 @@ class StoreTrustOverlay : public TrustOverlay {
   const TrustStore& store_;
   Normalizer normalizer_;
 };
+
+class TrustOverlaySnapshot;
 
 /// Search configuration.
 struct TransitivityParams {
@@ -115,27 +118,76 @@ struct TransitivityResult {
 };
 
 /// Hop-bounded transitivity search over a social graph.
+///
+/// Two operating modes:
+///  * Live overlay (first constructor): per-edge hop information is derived
+///    from the overlay lazily within each query. Right when the overlay
+///    mutates between queries (e.g. a live TrustEngine store).
+///  * Snapshot-backed (second constructor): hop information is computed
+///    once per task, keyed by the snapshot's dense directed-edge index, and
+///    reused across every query for that task. This is what the §5.5
+///    experiments use — the same task is searched from hundreds of
+///    trustors. Concurrency: a query for a PREPARED task (PrepareTasks)
+///    only reads the caches, so one search instance may be shared across
+///    threads for prepared tasks; a query for an UNprepared task builds
+///    its cache in place (FindPotentialTrustees is const, the cache is
+///    mutable) and must not run concurrently with any other query.
 class TransitivitySearch {
  public:
   /// All references must outlive the search object.
   TransitivitySearch(const graph::Graph& graph, const TaskCatalog& catalog,
                      const TrustOverlay& overlay, TransitivityParams params);
 
+  /// Snapshot-backed search with cross-query per-task caches (see above).
+  TransitivitySearch(const TrustOverlaySnapshot& snapshot,
+                     const TaskCatalog& catalog, TransitivityParams params);
+
+  ~TransitivitySearch();
+
+  /// Executor for PrepareTasks: invokes fn(i) for every i in [0, count),
+  /// possibly concurrently (e.g. adapt sim::ParallelRunner::ForEach).
+  using PrepareExecutor = std::function<void(
+      std::size_t count, const std::function<void(std::size_t)>& fn)>;
+
+  /// Snapshot-backed mode only (no-op otherwise): precomputes the per-task
+  /// caches for `tasks` up front. The per-task builds are independent and
+  /// are handed to `executor` (serial loop when omitted). After
+  /// preparation, FindPotentialTrustees for a prepared task only READS the
+  /// caches, so one search instance may be shared across threads as long
+  /// as every concurrently queried task was prepared.
+  void PrepareTasks(const std::vector<TaskId>& tasks,
+                    const PrepareExecutor& executor = {});
+
   /// Finds potential trustees of `trustor` for `task` under `method`.
   TransitivityResult FindPotentialTrustees(AgentId trustor, const Task& task,
                                            TransitivityMethod method) const;
 
  private:
+  struct TaskCaches;
+
   TransitivityResult SearchTraditional(AgentId trustor,
                                        const Task& task) const;
   TransitivityResult SearchCharacteristicBased(AgentId trustor,
                                                const Task& task,
                                                bool conservative) const;
 
+  template <typename ExactFn>
+  TransitivityResult TraditionalImpl(AgentId trustor, const Task& task,
+                                     ExactFn&& exact_tw) const;
+  template <typename HopFn>
+  TransitivityResult CharacteristicImpl(AgentId trustor, const Task& task,
+                                        bool conservative,
+                                        HopFn&& hop_info) const;
+
   const graph::Graph& graph_;
   const TaskCatalog& catalog_;
   const TrustOverlay& overlay_;
   TransitivityParams params_;
+  /// Non-null in snapshot-backed mode.
+  const TrustOverlaySnapshot* snapshot_ = nullptr;
+  /// Per-task caches (snapshot-backed mode only); lazily grown, hence
+  /// mutable — FindPotentialTrustees is logically const.
+  mutable std::unique_ptr<TaskCaches> caches_;
 };
 
 }  // namespace siot::trust

@@ -59,18 +59,15 @@ void TrustEngine::ReportOutcome(AgentId trustor, AgentId trustee,
                                 TaskId task,
                                 const DelegationOutcome& outcome,
                                 bool trustor_was_abusive) {
-  // Trustor-side post-evaluation of the trustee.
-  TrustRecord& record = store_.GetOrCreate(trustor, trustee, task);
+  // Trustor-side post-evaluation of the trustee; observation counting and
+  // estimate updates live in TrustStore::RecordOutcome.
   if (config_.environment_aware) {
     const double env = environment_.ChainIndicator(
         trustor, trustee, {}, config_.environment_aggregation);
-    record.estimates = UpdateEstimatesWithEnvironment(
-        record.estimates, outcome, config_.beta, env);
+    store_.RecordOutcome(trustor, trustee, task, outcome, config_.beta, env);
   } else {
-    record.estimates =
-        UpdateEstimates(record.estimates, outcome, config_.beta);
+    store_.RecordOutcome(trustor, trustee, task, outcome, config_.beta);
   }
-  ++record.observations;
   // Trustee-side post-evaluation of the trustor (usage pattern record).
   reverse_evaluator_.RecordUsage(trustee, trustor, trustor_was_abusive);
 }

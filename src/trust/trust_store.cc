@@ -4,29 +4,77 @@
 
 #include <algorithm>
 
+#include "trust/environment.h"
+
 namespace siot::trust {
+
+namespace {
+
+/// First entry with entry.task >= task in a pair's sorted record vector.
+std::vector<PairTaskRecord>::iterator LowerBoundTask(
+    std::vector<PairTaskRecord>& entries, TaskId task) {
+  return std::lower_bound(entries.begin(), entries.end(), task,
+                          [](const PairTaskRecord& entry, TaskId t) {
+                            return entry.task < t;
+                          });
+}
+
+const PairTaskRecord* FindTask(const std::vector<PairTaskRecord>& entries,
+                               TaskId task) {
+  const auto it = std::lower_bound(entries.begin(), entries.end(), task,
+                                   [](const PairTaskRecord& entry, TaskId t) {
+                                     return entry.task < t;
+                                   });
+  if (it == entries.end() || it->task != task) return nullptr;
+  return &*it;
+}
+
+}  // namespace
 
 std::optional<TrustRecord> TrustStore::Find(AgentId trustor, AgentId trustee,
                                             TaskId task) const {
-  const auto it = records_.find(TrustKey{trustor, trustee, task});
-  if (it == records_.end()) return std::nullopt;
-  return it->second;
+  const auto it = pairs_.find(PairKey{trustor, trustee});
+  if (it == pairs_.end()) return std::nullopt;
+  const PairTaskRecord* entry = FindTask(it->second, task);
+  if (entry == nullptr) return std::nullopt;
+  return entry->record;
 }
 
 bool TrustStore::Has(AgentId trustor, AgentId trustee, TaskId task) const {
-  return records_.contains(TrustKey{trustor, trustee, task});
+  const auto it = pairs_.find(PairKey{trustor, trustee});
+  return it != pairs_.end() && FindTask(it->second, task) != nullptr;
+}
+
+TrustRecord& TrustStore::Upsert(AgentId trustor, AgentId trustee, TaskId task,
+                                const TrustRecord& init, bool* inserted) {
+  std::vector<PairTaskRecord>& entries = pairs_[PairKey{trustor, trustee}];
+  const auto it = LowerBoundTask(entries, task);
+  if (it != entries.end() && it->task == task) {
+    *inserted = false;
+    return it->record;
+  }
+  *inserted = true;
+  ++record_count_;
+  return entries.insert(it, PairTaskRecord{task, init})->record;
 }
 
 TrustRecord& TrustStore::GetOrCreate(AgentId trustor, AgentId trustee,
                                      TaskId task) {
-  auto [it, inserted] = records_.try_emplace(
-      TrustKey{trustor, trustee, task}, TrustRecord{default_estimates_, 0});
-  return it->second;
+  bool inserted = false;
+  return Upsert(trustor, trustee, task, TrustRecord{default_estimates_, 0},
+                &inserted);
 }
 
 void TrustStore::Put(AgentId trustor, AgentId trustee, TaskId task,
                      const OutcomeEstimates& estimates) {
-  records_[TrustKey{trustor, trustee, task}] = TrustRecord{estimates, 0};
+  PutRecord(trustor, trustee, task, TrustRecord{estimates, 0});
+}
+
+void TrustStore::PutRecord(AgentId trustor, AgentId trustee, TaskId task,
+                           const TrustRecord& record) {
+  bool inserted = false;
+  TrustRecord& stored = Upsert(trustor, trustee, task, record, &inserted);
+  if (!inserted) stored = record;
 }
 
 const OutcomeEstimates& TrustStore::RecordOutcome(
@@ -38,32 +86,56 @@ const OutcomeEstimates& TrustStore::RecordOutcome(
   return record.estimates;
 }
 
+const OutcomeEstimates& TrustStore::RecordOutcome(
+    AgentId trustor, AgentId trustee, TaskId task,
+    const DelegationOutcome& outcome, const ForgettingFactors& beta,
+    double aggregate_env) {
+  TrustRecord& record = GetOrCreate(trustor, trustee, task);
+  record.estimates = UpdateEstimatesWithEnvironment(record.estimates, outcome,
+                                                    beta, aggregate_env);
+  ++record.observations;
+  return record.estimates;
+}
+
+std::span<const PairTaskRecord> TrustStore::PairRecords(
+    AgentId trustor, AgentId trustee) const {
+  const auto it = pairs_.find(PairKey{trustor, trustee});
+  if (it == pairs_.end()) return {};
+  return it->second;
+}
+
 std::vector<TaskId> TrustStore::ExperiencedTasks(AgentId trustor,
                                                  AgentId trustee) const {
   std::vector<TaskId> tasks;
-  for (const auto& [key, record] : records_) {
-    if (key.trustor == trustor && key.trustee == trustee) {
-      tasks.push_back(key.task);
-    }
-  }
-  std::sort(tasks.begin(), tasks.end());
-  return tasks;
+  const auto records = PairRecords(trustor, trustee);
+  tasks.reserve(records.size());
+  for (const PairTaskRecord& entry : records) tasks.push_back(entry.task);
+  return tasks;  // per-pair vectors are kept sorted by task id
 }
 
 std::vector<std::pair<TrustKey, TrustRecord>> TrustStore::AllRecords()
     const {
-  std::vector<std::pair<TrustKey, TrustRecord>> out(records_.begin(),
-                                                    records_.end());
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) {
-              if (a.first.trustor != b.first.trustor) {
-                return a.first.trustor < b.first.trustor;
+  std::vector<const std::unordered_map<PairKey, std::vector<PairTaskRecord>,
+                                       PairKeyHash>::value_type*>
+      by_pair;
+  by_pair.reserve(pairs_.size());
+  for (const auto& item : pairs_) by_pair.push_back(&item);
+  std::sort(by_pair.begin(), by_pair.end(),
+            [](const auto* a, const auto* b) {
+              if (a->first.trustor != b->first.trustor) {
+                return a->first.trustor < b->first.trustor;
               }
-              if (a.first.trustee != b.first.trustee) {
-                return a.first.trustee < b.first.trustee;
-              }
-              return a.first.task < b.first.task;
+              return a->first.trustee < b->first.trustee;
             });
+  std::vector<std::pair<TrustKey, TrustRecord>> out;
+  out.reserve(record_count_);
+  for (const auto* item : by_pair) {
+    for (const PairTaskRecord& entry : item->second) {
+      out.emplace_back(TrustKey{item->first.trustor, item->first.trustee,
+                                entry.task},
+                       entry.record);
+    }
+  }
   return out;
 }
 

@@ -4,11 +4,21 @@
 // type, plus bookkeeping (observation count). The store also answers
 // per-characteristic queries used by the inference function (Eqs. 2–4) and
 // by the transitivity search (§4.3).
+//
+// Layout: pair-major. Records are indexed by the directed (trustor,
+// trustee) pair first; each pair owns a small vector of per-task records
+// kept sorted by task id. Every per-pair query — Find, Has, GetOrCreate,
+// ExperiencedTasks, and the PairRecords span the overlays iterate — costs
+// one hash probe plus a binary search over that pair's few tasks, instead
+// of scanning the whole store. This is what keeps the §5.5 transitivity
+// sweep linear in the work it actually does: an agent pair experiences a
+// handful of task types even when the store holds millions of records.
 
 #ifndef SIOT_TRUST_TRUST_STORE_H_
 #define SIOT_TRUST_TRUST_STORE_H_
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -48,7 +58,13 @@ struct TrustKeyHash {
   }
 };
 
-/// Directed trust-record store.
+/// One per-task record inside a (trustor, trustee) pair's record vector.
+struct PairTaskRecord {
+  TaskId task = kNoTask;
+  TrustRecord record;
+};
+
+/// Directed trust-record store (pair-major; see file comment).
 class TrustStore {
  public:
   /// Initial estimates for first contact (defaults per OutcomeEstimates).
@@ -68,11 +84,19 @@ class TrustStore {
   bool Has(AgentId trustor, AgentId trustee, TaskId task) const;
 
   /// Returns the record, creating it from the default estimates if absent.
+  /// The reference stays valid until the next mutation of the same
+  /// (trustor, trustee) pair.
   TrustRecord& GetOrCreate(AgentId trustor, AgentId trustee, TaskId task);
 
-  /// Overwrites (or creates) a record's estimates.
+  /// Overwrites (or creates) a record's estimates; the observation count is
+  /// reset to zero.
   void Put(AgentId trustor, AgentId trustee, TaskId task,
            const OutcomeEstimates& estimates);
+
+  /// Overwrites (or creates) a full record — estimates and observation
+  /// count — with a single lookup.
+  void PutRecord(AgentId trustor, AgentId trustee, TaskId task,
+                 const TrustRecord& record);
 
   /// Applies one delegation outcome via Eqs. 19–22 and increments the
   /// observation count. Creates the record from defaults if absent.
@@ -81,6 +105,21 @@ class TrustStore {
                                         TaskId task,
                                         const DelegationOutcome& outcome,
                                         const ForgettingFactors& beta);
+
+  /// Environment-aware variant (Eqs. 25–28): the observation is de-biased
+  /// by the aggregate chain indicator before the β-forgetting update. This
+  /// is the single source of truth TrustEngine::ReportOutcome uses.
+  const OutcomeEstimates& RecordOutcome(AgentId trustor, AgentId trustee,
+                                        TaskId task,
+                                        const DelegationOutcome& outcome,
+                                        const ForgettingFactors& beta,
+                                        double aggregate_env);
+
+  /// All records of one directed (trustor, trustee) pair, sorted by task
+  /// id. One hash probe; the span stays valid until the next mutation of
+  /// the same pair.
+  std::span<const PairTaskRecord> PairRecords(AgentId trustor,
+                                              AgentId trustee) const;
 
   /// All task ids for which `trustor` has a record about `trustee`.
   std::vector<TaskId> ExperiencedTasks(AgentId trustor,
@@ -92,15 +131,45 @@ class TrustStore {
                                         TaskId task,
                                         const Normalizer& normalizer) const;
 
-  std::size_t size() const { return records_.size(); }
-  void Clear() { records_.clear(); }
+  /// Total number of (trustor, trustee, task) records.
+  std::size_t size() const { return record_count_; }
+  /// Number of distinct directed (trustor, trustee) pairs with records.
+  std::size_t pair_count() const { return pairs_.size(); }
+  void Clear() {
+    pairs_.clear();
+    record_count_ = 0;
+  }
 
   /// All records sorted by (trustor, trustee, task) — canonical order for
   /// serialization and inspection.
   std::vector<std::pair<TrustKey, TrustRecord>> AllRecords() const;
 
  private:
-  std::unordered_map<TrustKey, TrustRecord, TrustKeyHash> records_;
+  struct PairKey {
+    AgentId trustor = kNoAgent;
+    AgentId trustee = kNoAgent;
+
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const {
+      // SplitMix64-style finalizer over the packed pair.
+      std::uint64_t z = (static_cast<std::uint64_t>(k.trustor) << 32) |
+                        k.trustee;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+
+  /// Returns the pair's record for `task`, inserting `init` if absent (and
+  /// reporting the insertion through `inserted`).
+  TrustRecord& Upsert(AgentId trustor, AgentId trustee, TaskId task,
+                      const TrustRecord& init, bool* inserted);
+
+  std::unordered_map<PairKey, std::vector<PairTaskRecord>, PairKeyHash>
+      pairs_;
+  std::size_t record_count_ = 0;
   OutcomeEstimates default_estimates_;
 };
 

@@ -4,6 +4,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/string_util.h"
 
@@ -28,6 +29,10 @@ Status DeserializeTrustStore(std::string_view text, TrustStore* store) {
   }
   std::size_t line_no = 0;
   std::size_t start = 0;
+  // Keys inserted by THIS parse: a duplicate record line is corruption
+  // (silent last-wins would hide a truncated/concatenated file), while
+  // overwriting a record the store held before the call stays allowed.
+  std::unordered_set<TrustKey, TrustKeyHash> seen;
   for (std::size_t i = 0; i <= text.size(); ++i) {
     if (i != text.size() && text[i] != '\n') continue;
     ++line_no;
@@ -71,15 +76,19 @@ Status DeserializeTrustStore(std::string_view text, TrustStore* store) {
       return Status::Corruption(
           StrFormat("trust store line %zu: negative id", line_no));
     }
-    OutcomeEstimates estimates{s.value(), g.value(), d.value(), c.value()};
-    store->Put(static_cast<AgentId>(trustor.value()),
-               static_cast<AgentId>(trustee.value()),
-               static_cast<TaskId>(task.value()), estimates);
-    TrustRecord& record = store->GetOrCreate(
-        static_cast<AgentId>(trustor.value()),
-        static_cast<AgentId>(trustee.value()),
-        static_cast<TaskId>(task.value()));
-    record.observations = static_cast<std::size_t>(obs.value());
+    const TrustKey key{static_cast<AgentId>(trustor.value()),
+                       static_cast<AgentId>(trustee.value()),
+                       static_cast<TaskId>(task.value())};
+    if (!seen.insert(key).second) {
+      return Status::Corruption(StrFormat(
+          "trust store line %zu: duplicate record for (%u, %u, %u)",
+          line_no, key.trustor, key.trustee, key.task));
+    }
+    const OutcomeEstimates estimates{s.value(), g.value(), d.value(),
+                                     c.value()};
+    store->PutRecord(
+        key.trustor, key.trustee, key.task,
+        TrustRecord{estimates, static_cast<std::size_t>(obs.value())});
   }
   return Status::OK();
 }

@@ -25,7 +25,9 @@ namespace siot::trust {
 std::string SerializeTrustStore(const TrustStore& store);
 
 /// Parses records serialized by SerializeTrustStore into `store`
-/// (existing records with the same key are overwritten).
+/// (existing records with the same key are overwritten). A key appearing
+/// twice in `text` is Corruption: canonical serialization never repeats a
+/// key, so a duplicate means a truncated or concatenated file.
 Status DeserializeTrustStore(std::string_view text, TrustStore* store);
 
 /// Writes the store to a file.

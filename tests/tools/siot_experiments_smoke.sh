@@ -1,16 +1,18 @@
 #!/bin/sh
 # Smoke test for the siot_experiments CLI.
 #
-# Usage: siot_experiments_smoke.sh <binary> <config-file>
+# Usage: siot_experiments_smoke.sh <binary> <config-file> [extra-args...]
 #
-# Runs the binary with the given seed config and asserts that it exits 0
-# and prints a non-empty table (title, header, separator, >=1 data row).
+# Runs the binary with the given seed config (plus any extra CLI args) and
+# asserts that it exits 0 and prints a non-empty table (title, header,
+# separator, >=1 data row).
 set -u
 
 binary="$1"
 config="$2"
+shift 2
 
-out="$("$binary" "config=$config" 2>&1)"
+out="$("$binary" "config=$config" "$@" 2>&1)"
 status=$?
 if [ "$status" -ne 0 ]; then
   echo "FAIL: exit code $status" >&2

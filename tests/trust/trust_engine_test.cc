@@ -55,6 +55,32 @@ TEST_F(TrustEngineTest, ReportOutcomeUpdatesTrustorEstimates) {
   EXPECT_EQ(record->observations, 50u);
 }
 
+TEST_F(TrustEngineTest, ReportOutcomeMatchesStoreRecordOutcome) {
+  // ReportOutcome delegates to TrustStore::RecordOutcome — both paths must
+  // produce the same record, including the environment-aware one.
+  const DelegationOutcome outcome{true, 0.8, 0.0, 0.1};
+  TrustEngineConfig plain = MakeConfig();
+  plain.environment_aware = false;
+  TrustEngine plain_engine(plain);
+  const TaskId task = plain_engine.catalog().AddUniform("t", {0}).value();
+  plain_engine.ReportOutcome(0, 1, task, outcome);
+  TrustStore expected;
+  expected.SetDefaultEstimates(plain.initial_estimates);
+  expected.RecordOutcome(0, 1, task, outcome, plain.beta);
+  EXPECT_EQ(plain_engine.store().Find(0, 1, task)->estimates,
+            expected.Find(0, 1, task)->estimates);
+
+  engine_.environment().SetIndicator(0, 0.5);
+  engine_.ReportOutcome(0, 1, gps_, outcome);
+  TrustStore env_expected;
+  env_expected.SetDefaultEstimates(engine_.config().initial_estimates);
+  env_expected.RecordOutcome(0, 1, gps_, outcome, engine_.config().beta,
+                             /*aggregate_env=*/0.5);
+  EXPECT_EQ(engine_.store().Find(0, 1, gps_)->estimates,
+            env_expected.Find(0, 1, gps_)->estimates);
+  EXPECT_EQ(engine_.store().Find(0, 1, gps_)->observations, 1u);
+}
+
 TEST_F(TrustEngineTest, ReportOutcomeFeedsReverseEvaluator) {
   engine_.ReportOutcome(0, 1, gps_, {true, 0.5, 0.0, 0.1},
                         /*trustor_was_abusive=*/true);

@@ -87,6 +87,49 @@ TEST(TrustStoreIoTest, MalformedInputRejected) {
           .IsInvalidArgument());
 }
 
+TEST(TrustStoreIoTest, SerializeDeserializeSerializeIsByteIdentical) {
+  const TrustStore original = MakeStore(7, 60);
+  const std::string first = SerializeTrustStore(original);
+  TrustStore loaded;
+  ASSERT_TRUE(DeserializeTrustStore(first, &loaded).ok());
+  const std::string second = SerializeTrustStore(loaded);
+  EXPECT_EQ(first, second);
+  // And once more through a fresh store: the format is a fixed point.
+  TrustStore reloaded;
+  ASSERT_TRUE(DeserializeTrustStore(second, &reloaded).ok());
+  EXPECT_EQ(SerializeTrustStore(reloaded), first);
+}
+
+TEST(TrustStoreIoTest, DuplicateRecordLineIsCorruption) {
+  TrustStore store;
+  const Status status = DeserializeTrustStore(
+      "record 1 2 3 0.5 0.5 0.5 0.5 1\n"
+      "record 4 5 6 0.5 0.5 0.5 0.5 1\n"
+      "record 1 2 3 0.9 0.9 0.9 0.9 7\n",
+      &store);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.ToString().find("duplicate"), std::string::npos);
+  // Distinct tasks for the same pair are NOT duplicates.
+  TrustStore ok_store;
+  EXPECT_TRUE(DeserializeTrustStore(
+                  "record 1 2 3 0.5 0.5 0.5 0.5 1\n"
+                  "record 1 2 4 0.5 0.5 0.5 0.5 1\n",
+                  &ok_store)
+                  .ok());
+  EXPECT_EQ(ok_store.size(), 2u);
+}
+
+TEST(TrustStoreIoTest, DeserializeSetsObservationsInOneInsert) {
+  TrustStore store;
+  ASSERT_TRUE(DeserializeTrustStore(
+                  "record 9 8 7 0.25 0.5 0.75 1 13\n", &store)
+                  .ok());
+  const auto record = store.Find(9, 8, 7);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->observations, 13u);
+  EXPECT_DOUBLE_EQ(record->estimates.cost, 1.0);
+}
+
 TEST(TrustStoreIoTest, LoadOverwritesMatchingKeys) {
   TrustStore store;
   store.Put(1, 2, 3, {0.1, 0.1, 0.1, 0.1});

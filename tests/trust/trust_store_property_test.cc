@@ -1,0 +1,243 @@
+// Copyright 2026 The siot-trust Authors.
+// Property tests: the pair-major TrustStore must answer every query
+// identically to a straightforward reference implementation (one ordered
+// map over full (trustor, trustee, task) keys) under randomized workloads.
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trust/environment.h"
+#include "trust/trust_store.h"
+
+namespace siot::trust {
+namespace {
+
+/// Reference model: the obviously-correct flat ordered map.
+class ReferenceStore {
+ public:
+  using Key = std::tuple<AgentId, AgentId, TaskId>;
+
+  void SetDefaultEstimates(const OutcomeEstimates& estimates) {
+    default_estimates_ = estimates;
+  }
+
+  std::optional<TrustRecord> Find(AgentId trustor, AgentId trustee,
+                                  TaskId task) const {
+    const auto it = records_.find({trustor, trustee, task});
+    if (it == records_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Has(AgentId trustor, AgentId trustee, TaskId task) const {
+    return records_.contains({trustor, trustee, task});
+  }
+
+  TrustRecord& GetOrCreate(AgentId trustor, AgentId trustee, TaskId task) {
+    return records_
+        .try_emplace({trustor, trustee, task},
+                     TrustRecord{default_estimates_, 0})
+        .first->second;
+  }
+
+  void Put(AgentId trustor, AgentId trustee, TaskId task,
+           const OutcomeEstimates& estimates) {
+    records_[{trustor, trustee, task}] = TrustRecord{estimates, 0};
+  }
+
+  void PutRecord(AgentId trustor, AgentId trustee, TaskId task,
+                 const TrustRecord& record) {
+    records_[{trustor, trustee, task}] = record;
+  }
+
+  void RecordOutcome(AgentId trustor, AgentId trustee, TaskId task,
+                     const DelegationOutcome& outcome,
+                     const ForgettingFactors& beta) {
+    TrustRecord& record = GetOrCreate(trustor, trustee, task);
+    record.estimates = UpdateEstimates(record.estimates, outcome, beta);
+    ++record.observations;
+  }
+
+  std::vector<TaskId> ExperiencedTasks(AgentId trustor,
+                                       AgentId trustee) const {
+    std::vector<TaskId> tasks;
+    for (const auto& [key, record] : records_) {
+      if (std::get<0>(key) == trustor && std::get<1>(key) == trustee) {
+        tasks.push_back(std::get<2>(key));
+      }
+    }
+    return tasks;  // map order is already (trustor, trustee, task)
+  }
+
+  std::vector<std::pair<TrustKey, TrustRecord>> AllRecords() const {
+    std::vector<std::pair<TrustKey, TrustRecord>> out;
+    out.reserve(records_.size());
+    for (const auto& [key, record] : records_) {
+      out.emplace_back(TrustKey{std::get<0>(key), std::get<1>(key),
+                                std::get<2>(key)},
+                       record);
+    }
+    return out;
+  }
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::map<Key, TrustRecord> records_;
+  OutcomeEstimates default_estimates_;
+};
+
+void ExpectSameRecord(const std::optional<TrustRecord>& actual,
+                      const std::optional<TrustRecord>& expected) {
+  ASSERT_EQ(actual.has_value(), expected.has_value());
+  if (!actual.has_value()) return;
+  EXPECT_EQ(actual->estimates, expected->estimates);
+  EXPECT_EQ(actual->observations, expected->observations);
+}
+
+/// Applies `ops` random mutations to both stores, then checks every query
+/// agrees on every key in a (small) id universe.
+void RunAgreementWorkload(std::uint64_t seed, std::size_t ops,
+                          std::uint64_t agents, std::uint64_t tasks) {
+  Rng rng(seed);
+  TrustStore store;
+  ReferenceStore reference;
+  const OutcomeEstimates defaults{0.7, 0.6, 0.2, 0.1};
+  store.SetDefaultEstimates(defaults);
+  reference.SetDefaultEstimates(defaults);
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    const auto trustor = static_cast<AgentId>(rng.NextBounded(agents));
+    const auto trustee = static_cast<AgentId>(rng.NextBounded(agents));
+    const auto task = static_cast<TaskId>(rng.NextBounded(tasks));
+    switch (rng.NextBounded(4)) {
+      case 0: {
+        const OutcomeEstimates estimates{rng.NextDouble(), rng.NextDouble(),
+                                         rng.NextDouble(),
+                                         rng.NextDouble()};
+        store.Put(trustor, trustee, task, estimates);
+        reference.Put(trustor, trustee, task, estimates);
+        break;
+      }
+      case 1: {
+        const TrustRecord record{{rng.NextDouble(), rng.NextDouble(),
+                                  rng.NextDouble(), rng.NextDouble()},
+                                 rng.NextBounded(50)};
+        store.PutRecord(trustor, trustee, task, record);
+        reference.PutRecord(trustor, trustee, task, record);
+        break;
+      }
+      case 2: {
+        store.GetOrCreate(trustor, trustee, task);
+        reference.GetOrCreate(trustor, trustee, task);
+        break;
+      }
+      default: {
+        const DelegationOutcome outcome{rng.Bernoulli(0.5),
+                                        rng.NextDouble(), rng.NextDouble(),
+                                        rng.NextDouble()};
+        const ForgettingFactors beta = ForgettingFactors::Uniform(0.3);
+        store.RecordOutcome(trustor, trustee, task, outcome, beta);
+        reference.RecordOutcome(trustor, trustee, task, outcome, beta);
+        break;
+      }
+    }
+  }
+
+  EXPECT_EQ(store.size(), reference.size());
+  for (AgentId trustor = 0; trustor < agents; ++trustor) {
+    for (AgentId trustee = 0; trustee < agents; ++trustee) {
+      EXPECT_EQ(store.ExperiencedTasks(trustor, trustee),
+                reference.ExperiencedTasks(trustor, trustee));
+      for (TaskId task = 0; task < tasks; ++task) {
+        EXPECT_EQ(store.Has(trustor, trustee, task),
+                  reference.Has(trustor, trustee, task));
+        ExpectSameRecord(store.Find(trustor, trustee, task),
+                         reference.Find(trustor, trustee, task));
+      }
+    }
+  }
+  // AllRecords: same keys, same records, same canonical order.
+  const auto actual = store.AllRecords();
+  const auto expected = reference.AllRecords();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].first, expected[i].first) << "index " << i;
+    EXPECT_EQ(actual[i].second.estimates, expected[i].second.estimates);
+    EXPECT_EQ(actual[i].second.observations,
+              expected[i].second.observations);
+  }
+}
+
+TEST(TrustStorePropertyTest, AgreesWithReferenceSmallDense) {
+  // Few ids, many ops: heavy overwrite/upsert collisions.
+  RunAgreementWorkload(/*seed=*/1, /*ops=*/2000, /*agents=*/6, /*tasks=*/4);
+}
+
+TEST(TrustStorePropertyTest, AgreesWithReferenceSparse) {
+  // Many ids, few ops: mostly singleton pairs.
+  RunAgreementWorkload(/*seed=*/2, /*ops=*/600, /*agents=*/24,
+                       /*tasks=*/8);
+}
+
+TEST(TrustStorePropertyTest, AgreesWithReferenceManyTasksPerPair) {
+  // One pair hot path: per-pair vectors grow long and stay sorted.
+  RunAgreementWorkload(/*seed=*/3, /*ops=*/1500, /*agents=*/2,
+                       /*tasks=*/40);
+}
+
+TEST(TrustStorePropertyTest, PairRecordsMatchesExperiencedTasks) {
+  Rng rng(4);
+  TrustStore store;
+  for (int i = 0; i < 300; ++i) {
+    store.Put(static_cast<AgentId>(rng.NextBounded(5)),
+              static_cast<AgentId>(rng.NextBounded(5)),
+              static_cast<TaskId>(rng.NextBounded(12)),
+              {rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+               rng.NextDouble()});
+  }
+  for (AgentId trustor = 0; trustor < 5; ++trustor) {
+    for (AgentId trustee = 0; trustee < 5; ++trustee) {
+      const auto records = store.PairRecords(trustor, trustee);
+      const auto tasks = store.ExperiencedTasks(trustor, trustee);
+      ASSERT_EQ(records.size(), tasks.size());
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].task, tasks[i]);
+        const auto found = store.Find(trustor, trustee, records[i].task);
+        ASSERT_TRUE(found.has_value());
+        EXPECT_EQ(found->estimates, records[i].record.estimates);
+      }
+    }
+  }
+}
+
+TEST(TrustStorePropertyTest, EnvironmentRecordOutcomeMatchesManualUpdate) {
+  TrustStore store;
+  store.SetDefaultEstimates({0.5, 0.5, 0.5, 0.5});
+  const DelegationOutcome outcome{true, 0.8, 0.0, 0.2};
+  const ForgettingFactors beta = ForgettingFactors::Uniform(0.4);
+  const double env = 0.6;
+  const OutcomeEstimates expected = UpdateEstimatesWithEnvironment(
+      {0.5, 0.5, 0.5, 0.5}, outcome, beta, env);
+  const OutcomeEstimates& actual =
+      store.RecordOutcome(1, 2, 3, outcome, beta, env);
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(store.Find(1, 2, 3)->observations, 1u);
+}
+
+TEST(TrustStorePropertyTest, PairCountTracksDistinctPairs) {
+  TrustStore store;
+  store.Put(1, 2, 0, {});
+  store.Put(1, 2, 1, {});
+  store.Put(2, 1, 0, {});
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.pair_count(), 2u);
+  store.Clear();
+  EXPECT_EQ(store.pair_count(), 0u);
+}
+
+}  // namespace
+}  // namespace siot::trust

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/string_util.h"
@@ -42,6 +43,18 @@ StatusOr<graph::SocialNetwork> ParseNetwork(const std::string& name) {
                                  "' (facebook|google+|twitter)");
 }
 
+StatusOr<std::size_t> ParseThreads(const Config& config) {
+  const std::int64_t threads = config.GetIntOr("threads", 1);
+  // 0 means hardware concurrency; anything negative (or absurd) would be
+  // cast to a huge std::size_t and abort inside ParallelRunner.
+  if (threads < 0 || threads > 1024) {
+    return Status::InvalidArgument(
+        StrFormat("threads=%lld out of range [0, 1024]",
+                  static_cast<long long>(threads)));
+  }
+  return static_cast<std::size_t>(threads);
+}
+
 Status RunMutuality(const Config& config) {
   SIOT_ASSIGN_OR_RETURN(
       const graph::SocialNetwork network,
@@ -55,6 +68,7 @@ Status RunMutuality(const Config& config) {
   }
   mc.requests_per_trustor = static_cast<std::size_t>(
       config.GetIntOr("requests_per_trustor", 10));
+  SIOT_ASSIGN_OR_RETURN(mc.threads, ParseThreads(config));
   const sim::MutualityResult result =
       sim::RunMutualityExperiment(dataset, mc);
   TextTable table(StrFormat("Mutuality (Fig. 7 setup) on %s",
@@ -87,6 +101,7 @@ Status RunTransitivity(const Config& config) {
   tc.requests_per_trustor = static_cast<std::size_t>(
       config.GetIntOr("requests_per_trustor", 3));
   tc.use_features = config.GetBoolOr("use_features", false);
+  SIOT_ASSIGN_OR_RETURN(tc.threads, ParseThreads(config));
   const sim::TransitivityResult result =
       sim::RunTransitivityExperiment(dataset, tc);
   TextTable table(StrFormat(
@@ -116,6 +131,7 @@ Status RunDelegation(const Config& config) {
   dc.iterations =
       static_cast<std::size_t>(config.GetIntOr("iterations", 3000));
   dc.beta = config.GetDoubleOr("beta", 0.9);
+  SIOT_ASSIGN_OR_RETURN(dc.threads, ParseThreads(config));
   const sim::DelegationResultsOutcome outcome =
       sim::RunDelegationResultsExperiment(dataset, dc);
   TextTable table(StrFormat(
@@ -160,8 +176,21 @@ Status RunEnvironment(const Config& config) {
 }
 
 Status Run(int argc, char** argv) {
-  SIOT_ASSIGN_OR_RETURN(Config config,
-                        Config::FromArgs(argc - 1, argv + 1));
+  // Accept both bare key=value tokens and GNU-style --key=value flags
+  // (e.g. --threads=4): leading dashes are stripped before parsing.
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc - 1));
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    arg.erase(0, arg.find_first_not_of('-'));
+    args.push_back(std::move(arg));
+  }
+  std::vector<const char*> arg_ptrs;
+  arg_ptrs.reserve(args.size());
+  for (const std::string& arg : args) arg_ptrs.push_back(arg.c_str());
+  SIOT_ASSIGN_OR_RETURN(
+      Config config,
+      Config::FromArgs(static_cast<int>(arg_ptrs.size()), arg_ptrs.data()));
   if (config.Has("config")) {
     SIOT_ASSIGN_OR_RETURN(const std::string path,
                           config.GetString("config"));
@@ -181,8 +210,8 @@ Status Run(int argc, char** argv) {
   if (experiment == "environment") return RunEnvironment(config);
   return Status::InvalidArgument(
       "usage: siot_experiments experiment=<mutuality|transitivity|"
-      "delegation|environment> [network=...] [seed=...] [key=value...] "
-      "[config=<file>]");
+      "delegation|environment> [network=...] [seed=...] [--threads=N] "
+      "[key=value...] [config=<file>]");
 }
 
 }  // namespace
