@@ -1,0 +1,337 @@
+// Copyright 2026 The siot-trust Authors.
+// Service-throughput bench: the sharded TrustService under a mixed
+// read/write delegation workload. Every trustor runs rounds of
+//   BatchRequestDelegation (read) → BatchPreEvaluate (read) →
+//   BatchReportOutcome (write)
+// over its social-graph neighbors. The driver measures requests/sec at 1,
+// 2, and 8 serving threads (trustor-partitioned, per-trustor RNG streams)
+// and checks the 2- and 8-thread runs produce results identical to the
+// single-threaded run — sharding by trustor makes the service
+// deterministic under any thread count by construction. Wall-clock
+// speedup is bounded by the machine's core count; the identity column is
+// not.
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "graph/datasets.h"
+#include "service/trust_service.h"
+#include "sim/parallel_runner.h"
+
+namespace siot {
+namespace {
+
+using service::DelegationServiceRequest;
+using service::OutcomeReport;
+using service::PreEvaluateRequest;
+using service::TrustService;
+using trust::AgentId;
+using trust::DelegationRequestResult;
+using trust::TaskId;
+
+constexpr std::uint64_t kSeed = 2026;
+constexpr std::size_t kRounds = 4;
+constexpr std::size_t kShards = 16;
+
+// ------------------------------------------------------------ workload --
+
+struct Workload {
+  graph::SocialDataset dataset;
+  std::vector<TaskId> tasks;
+
+  static const Workload& Get() {
+    static const Workload* workload = new Workload();
+    return *workload;
+  }
+
+  std::size_t trustor_count() const { return dataset.graph.node_count(); }
+
+  /// Deterministic per-trustor request mix; `rng` is the trustor's stream.
+  DelegationServiceRequest Request(AgentId trustor, Rng& rng) const {
+    DelegationServiceRequest request;
+    request.trustor = trustor;
+    request.task = tasks[rng.NextBounded(tasks.size())];
+    const auto neighbors = dataset.graph.Neighbors(trustor);
+    request.candidates.assign(neighbors.begin(), neighbors.end());
+    if (rng.NextBounded(4) == 0) {
+      request.self_estimates = trust::OutcomeEstimates{
+          rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+          rng.NextDouble()};
+    }
+    return request;
+  }
+
+  OutcomeReport Report(const DelegationServiceRequest& request,
+                       const DelegationRequestResult& result,
+                       Rng& rng) const {
+    OutcomeReport report;
+    report.trustor = request.trustor;
+    report.trustee = (result.trustee != trust::kNoAgent &&
+                      !result.self_execution)
+                         ? result.trustee
+                         : request.candidates.front();
+    report.task = request.task;
+    report.outcome.success = rng.Bernoulli(0.7);
+    report.outcome.gain = report.outcome.success ? rng.NextDouble() : 0.0;
+    report.outcome.damage = report.outcome.success ? 0.0 : rng.NextDouble();
+    report.outcome.cost = 0.25 * rng.NextDouble();
+    report.trustor_was_abusive = rng.Bernoulli(0.1);
+    return report;
+  }
+
+  std::unique_ptr<TrustService> MakeService() const {
+    service::TrustServiceConfig config;
+    config.shard_count = kShards;
+    config.engine.beta = trust::ForgettingFactors::Uniform(0.2);
+    auto service = std::make_unique<TrustService>(config);
+    const std::vector<
+        std::pair<std::string, std::vector<trust::CharacteristicId>>>
+        task_types = {{"gps", {0}}, {"image", {1}}, {"traffic", {0, 1}}};
+    for (const auto& [name, characteristics] : task_types) {
+      SIOT_CHECK(service->RegisterTask(name, characteristics).ok());
+    }
+    for (AgentId agent = 0; agent < trustor_count(); agent += 13) {
+      service->SetReverseThreshold(agent, trust::kNoTask, 0.75);
+    }
+    return service;
+  }
+
+ private:
+  Workload()
+      : dataset(graph::LoadDataset(graph::SocialNetwork::kFacebook)) {
+    tasks = {0, 1, 2};  // ids RegisterTask assigns in MakeService
+  }
+};
+
+/// Per-trustor digest of everything a run produced — two runs are
+/// identical iff their digest vectors match.
+struct TrustorDigest {
+  std::uint64_t trustee_sum = 0;
+  std::uint64_t flags = 0;
+  std::uint64_t value_bits = 0;
+  bool operator==(const TrustorDigest&) const = default;
+};
+
+void FoldResult(const DelegationRequestResult& result, double pre_evaluated,
+                TrustorDigest& digest) {
+  digest.trustee_sum +=
+      result.trustee == trust::kNoAgent ? 0xFFFFu : result.trustee;
+  digest.flags = digest.flags * 31 +
+                 (static_cast<std::uint64_t>(result.unavailable) << 2 |
+                  static_cast<std::uint64_t>(result.self_execution) << 1 |
+                  static_cast<std::uint64_t>(result.no_candidates));
+  std::uint64_t bits = 0;
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::memcpy(&bits, &result.trustworthiness, sizeof(bits));
+  digest.value_bits ^= bits;
+  std::memcpy(&bits, &pre_evaluated, sizeof(bits));
+  digest.value_bits ^= bits * 0x9E3779B97F4A7C15ull;
+}
+
+struct RunOutcome {
+  double seconds = 0.0;
+  std::size_t requests = 0;  ///< delegations + pre-evaluations + reports
+  std::vector<TrustorDigest> digests;
+  std::size_t record_count = 0;
+};
+
+/// Runs the full workload with `threads` serving threads over disjoint
+/// trustor partitions, batch APIs only.
+RunOutcome RunWorkload(std::size_t threads) {
+  const Workload& workload = Workload::Get();
+  const std::unique_ptr<TrustService> service_owner = workload.MakeService();
+  TrustService& service = *service_owner;
+  const std::size_t trustors = workload.trustor_count();
+  RunOutcome outcome;
+  outcome.digests.resize(trustors);
+  std::atomic<std::size_t> requests{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      const std::size_t chunk = trustors / threads;
+      const std::size_t begin = w * chunk;
+      const std::size_t end = w + 1 == threads ? trustors : begin + chunk;
+      std::vector<Rng> streams;
+      streams.reserve(end - begin);
+      for (std::size_t t = begin; t < end; ++t) {
+        streams.push_back(sim::DeriveStream(kSeed, t));
+      }
+      std::size_t served = 0;
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::vector<DelegationServiceRequest> delegations;
+        std::vector<std::size_t> owners;  // trustor per request
+        for (std::size_t t = begin; t < end; ++t) {
+          DelegationServiceRequest request =
+              workload.Request(static_cast<AgentId>(t), streams[t - begin]);
+          if (request.candidates.empty()) continue;
+          owners.push_back(t);
+          delegations.push_back(std::move(request));
+        }
+        const std::vector<DelegationRequestResult> results =
+            service.BatchRequestDelegation(delegations).value();
+
+        std::vector<PreEvaluateRequest> queries;
+        queries.reserve(delegations.size());
+        for (std::size_t i = 0; i < delegations.size(); ++i) {
+          queries.push_back({delegations[i].trustor,
+                             delegations[i].candidates.front(),
+                             delegations[i].task});
+        }
+        const std::vector<double> evaluations =
+            service.BatchPreEvaluate(queries).value();
+
+        std::vector<OutcomeReport> reports;
+        reports.reserve(delegations.size());
+        for (std::size_t i = 0; i < delegations.size(); ++i) {
+          const std::size_t t = owners[i];
+          FoldResult(results[i], evaluations[i], outcome.digests[t]);
+          reports.push_back(workload.Report(delegations[i], results[i],
+                                            streams[t - begin]));
+        }
+        SIOT_CHECK(service.BatchReportOutcome(reports).ok());
+        served += 3 * delegations.size();
+      }
+      requests.fetch_add(served, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  outcome.seconds = std::chrono::duration<double>(elapsed).count();
+  outcome.requests = requests.load();
+  outcome.record_count = service.Stats().record_count;
+  return outcome;
+}
+
+void PrintReproduction() {
+  bench::PrintBanner(
+      "Service throughput",
+      "Sharded TrustService requests/sec under a mixed read/write "
+      "delegation workload");
+  const Workload& workload = Workload::Get();
+  std::printf(
+      "Facebook stand-in: %zu trustors, %zu shards, %zu rounds of "
+      "delegate → pre-evaluate → report per trustor\n\n",
+      workload.trustor_count(), kShards, kRounds);
+
+  TextTable table("Mixed workload by serving threads (batch APIs)");
+  table.SetHeader(
+      {"threads", "requests", "ms", "req/s", "identical to 1-thread"});
+  RunOutcome serial;
+  for (const std::size_t threads : {1ul, 2ul, 8ul}) {
+    const RunOutcome run = RunWorkload(threads);
+    const bool identical =
+        threads == 1 ||
+        (run.digests == serial.digests &&
+         run.record_count == serial.record_count);
+    if (threads == 1) serial = run;
+    table.AddRow({StrFormat("%zu", threads),
+                  StrFormat("%zu", run.requests),
+                  FormatDouble(run.seconds * 1e3, 1),
+                  FormatDouble(static_cast<double>(run.requests) /
+                                   run.seconds,
+                               0),
+                  threads == 1 ? "-" : (identical ? "yes" : "NO — BUG")});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "hardware threads available: %u — wall-clock scaling is bounded by\n"
+      "this; the identity column must read \"yes\" at every thread "
+      "count.\n",
+      std::thread::hardware_concurrency());
+}
+
+// ------------------------------------------------------------- kernels --
+
+const TrustService& WarmService() {
+  static const TrustService* service = [] {
+    TrustService* warmed = Workload::Get().MakeService().release();
+    std::vector<Rng> streams;
+    const std::size_t trustors = Workload::Get().trustor_count();
+    for (std::size_t t = 0; t < trustors; ++t) {
+      streams.push_back(sim::DeriveStream(kSeed, t));
+    }
+    for (std::size_t round = 0; round < 2; ++round) {
+      for (std::size_t t = 0; t < trustors; ++t) {
+        const DelegationServiceRequest request = Workload::Get().Request(
+            static_cast<AgentId>(t), streams[t]);
+        if (request.candidates.empty()) continue;
+        const DelegationRequestResult result =
+            warmed->RequestDelegation(request).value();
+        SIOT_CHECK(
+            warmed
+                ->ReportOutcome(
+                    Workload::Get().Report(request, result, streams[t]))
+                .ok());
+      }
+    }
+    return warmed;
+  }();
+  return *service;
+}
+
+void BM_ServicePreEvaluate(benchmark::State& state) {
+  const TrustService& service = WarmService();
+  const std::size_t trustors = Workload::Get().trustor_count();
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto t = static_cast<AgentId>(rng.NextBounded(trustors));
+    const auto y = static_cast<AgentId>(rng.NextBounded(trustors));
+    benchmark::DoNotOptimize(service.PreEvaluate(t, y, 0).value());
+  }
+}
+BENCHMARK(BM_ServicePreEvaluate);
+
+void BM_ServiceRequestDelegation(benchmark::State& state) {
+  const TrustService& service = WarmService();
+  const Workload& workload = Workload::Get();
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto t =
+        static_cast<AgentId>(rng.NextBounded(workload.trustor_count()));
+    Rng stream = sim::DeriveStream(kSeed, t);
+    benchmark::DoNotOptimize(
+        service.RequestDelegation(workload.Request(t, stream)).value());
+  }
+}
+BENCHMARK(BM_ServiceRequestDelegation);
+
+void BM_ServiceBatchRequestDelegation(benchmark::State& state) {
+  const TrustService& service = WarmService();
+  const Workload& workload = Workload::Get();
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  std::vector<DelegationServiceRequest> requests;
+  Rng rng(11);
+  while (requests.size() < batch_size) {
+    const auto t =
+        static_cast<AgentId>(rng.NextBounded(workload.trustor_count()));
+    Rng stream = sim::DeriveStream(kSeed, t);
+    DelegationServiceRequest request = workload.Request(t, stream);
+    if (!request.candidates.empty()) requests.push_back(std::move(request));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service.BatchRequestDelegation(requests).value());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_ServiceBatchRequestDelegation)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace siot
+
+SIOT_BENCH_MAIN(siot::PrintReproduction)

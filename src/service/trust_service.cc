@@ -1,0 +1,252 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "service/trust_service.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace siot::service {
+
+TrustService::TrustService(TrustServiceConfig config) {
+  const std::size_t shard_count = std::max<std::size_t>(config.shard_count, 1);
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config.engine));
+  }
+}
+
+std::size_t TrustService::ShardOf(trust::AgentId trustor) const {
+  // SplitMix64 finalizer: adjacent agent ids spread across shards so a
+  // dense trustor range doesn't pile onto one stripe.
+  std::uint64_t z = trustor;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<std::size_t>((z ^ (z >> 31)) % shards_.size());
+}
+
+// ------------------------------------------------------------- control --
+
+StatusOr<trust::TaskId> TrustService::RegisterTask(
+    const std::string& name,
+    const std::vector<trust::CharacteristicId>& characteristics) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  // Probe the first shard; only on success touch the rest, so a rejected
+  // registration (duplicate name, bad characteristics) leaves every
+  // catalog unchanged and the replicas stay identical.
+  trust::TaskId id = trust::kNoTask;
+  {
+    std::unique_lock<std::shared_mutex> lock(shards_[0]->mutex);
+    SIOT_ASSIGN_OR_RETURN(
+        id, shards_[0]->engine.catalog().AddUniform(name, characteristics));
+  }
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    std::unique_lock<std::shared_mutex> lock(shards_[s]->mutex);
+    const auto replica =
+        shards_[s]->engine.catalog().AddUniform(name, characteristics);
+    SIOT_CHECK(replica.ok() && replica.value() == id);
+  }
+  task_count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+Status TrustService::ValidateTask(trust::TaskId task) const {
+  if (task >= task_count_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "task id " + std::to_string(task) + " is not registered");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateAgent(trust::AgentId agent, const char* role) {
+  if (agent == trust::kNoAgent) {
+    return Status::InvalidArgument(
+        std::string(role) + " is the kNoAgent sentinel");
+  }
+  return Status::OK();
+}
+
+Status ValidatePreEvaluate(trust::AgentId trustor, trust::AgentId trustee) {
+  SIOT_RETURN_IF_ERROR(ValidateAgent(trustor, "trustor"));
+  return ValidateAgent(trustee, "trustee");
+}
+
+Status ValidateDelegation(const DelegationServiceRequest& request) {
+  SIOT_RETURN_IF_ERROR(ValidateAgent(request.trustor, "trustor"));
+  for (const trust::AgentId candidate : request.candidates) {
+    // A kNoAgent candidate would make the result's kNoAgent sentinel
+    // ambiguous with a genuine selection.
+    SIOT_RETURN_IF_ERROR(ValidateAgent(candidate, "candidate"));
+  }
+  return Status::OK();
+}
+
+Status ValidateReport(const OutcomeReport& report) {
+  SIOT_RETURN_IF_ERROR(ValidateAgent(report.trustor, "trustor"));
+  // Catches clients echoing an unavailable/no_candidates result's trustee
+  // straight back into the report.
+  return ValidateAgent(report.trustee, "trustee");
+}
+
+}  // namespace
+
+void TrustService::SetReverseThreshold(trust::AgentId trustee,
+                                       trust::TaskId task, double theta) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mutex);
+    shard->engine.reverse_evaluator().SetThreshold(trustee, task, theta);
+  }
+}
+
+void TrustService::SetEnvironmentIndicator(trust::AgentId agent,
+                                           double indicator) {
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mutex);
+    shard->engine.environment().SetIndicator(agent, indicator);
+  }
+}
+
+// ---------------------------------------------------------- data plane --
+
+StatusOr<double> TrustService::PreEvaluate(trust::AgentId trustor,
+                                           trust::AgentId trustee,
+                                           trust::TaskId task) const {
+  SIOT_RETURN_IF_ERROR(ValidateTask(task));
+  SIOT_RETURN_IF_ERROR(ValidatePreEvaluate(trustor, trustee));
+  pre_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  const Shard& shard = *shards_[ShardOf(trustor)];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  return shard.engine.PreEvaluate(trustor, trustee, task);
+}
+
+StatusOr<trust::DelegationRequestResult> TrustService::RequestDelegation(
+    const DelegationServiceRequest& request) const {
+  SIOT_RETURN_IF_ERROR(ValidateTask(request.task));
+  SIOT_RETURN_IF_ERROR(ValidateDelegation(request));
+  delegation_requests_.fetch_add(1, std::memory_order_relaxed);
+  const Shard& shard = *shards_[ShardOf(request.trustor)];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  return shard.engine.RequestDelegation(request.trustor, request.task,
+                                        request.candidates,
+                                        request.self_estimates);
+}
+
+Status TrustService::ReportOutcome(const OutcomeReport& report) {
+  SIOT_RETURN_IF_ERROR(ValidateTask(report.task));
+  SIOT_RETURN_IF_ERROR(ValidateReport(report));
+  outcome_reports_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[ShardOf(report.trustor)];
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  shard.engine.ReportOutcome(report.trustor, report.trustee, report.task,
+                             report.outcome, report.trustor_was_abusive,
+                             report.intermediates);
+  return Status::OK();
+}
+
+template <typename TrustorOf, typename Body>
+void TrustService::GroupByShard(std::size_t count,
+                                const TrustorOf& trustor_of,
+                                const Body& body) const {
+  std::vector<std::vector<std::size_t>> buckets(shards_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    buckets[ShardOf(trustor_of(i))].push_back(i);
+  }
+  for (std::size_t s = 0; s < buckets.size(); ++s) {
+    if (!buckets[s].empty()) body(s, buckets[s]);
+  }
+}
+
+StatusOr<std::vector<double>> TrustService::BatchPreEvaluate(
+    std::span<const PreEvaluateRequest> requests) const {
+  for (const PreEvaluateRequest& request : requests) {
+    SIOT_RETURN_IF_ERROR(ValidateTask(request.task));
+    SIOT_RETURN_IF_ERROR(ValidatePreEvaluate(request.trustor,
+                                             request.trustee));
+  }
+  pre_evaluations_.fetch_add(requests.size(), std::memory_order_relaxed);
+  std::vector<double> results(requests.size());
+  GroupByShard(
+      requests.size(),
+      [&](std::size_t i) { return requests[i].trustor; },
+      [&](std::size_t s, const std::vector<std::size_t>& indices) {
+        const Shard& shard = *shards_[s];
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        for (const std::size_t i : indices) {
+          results[i] = shard.engine.PreEvaluate(
+              requests[i].trustor, requests[i].trustee, requests[i].task);
+        }
+      });
+  return results;
+}
+
+StatusOr<std::vector<trust::DelegationRequestResult>>
+TrustService::BatchRequestDelegation(
+    std::span<const DelegationServiceRequest> requests) const {
+  for (const DelegationServiceRequest& request : requests) {
+    SIOT_RETURN_IF_ERROR(ValidateTask(request.task));
+    SIOT_RETURN_IF_ERROR(ValidateDelegation(request));
+  }
+  delegation_requests_.fetch_add(requests.size(),
+                                 std::memory_order_relaxed);
+  std::vector<trust::DelegationRequestResult> results(requests.size());
+  GroupByShard(
+      requests.size(),
+      [&](std::size_t i) { return requests[i].trustor; },
+      [&](std::size_t s, const std::vector<std::size_t>& indices) {
+        const Shard& shard = *shards_[s];
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        for (const std::size_t i : indices) {
+          results[i] = shard.engine.RequestDelegation(
+              requests[i].trustor, requests[i].task,
+              requests[i].candidates, requests[i].self_estimates);
+        }
+      });
+  return results;
+}
+
+Status TrustService::BatchReportOutcome(
+    std::span<const OutcomeReport> reports) {
+  for (const OutcomeReport& report : reports) {
+    SIOT_RETURN_IF_ERROR(ValidateTask(report.task));
+    SIOT_RETURN_IF_ERROR(ValidateReport(report));
+  }
+  outcome_reports_.fetch_add(reports.size(), std::memory_order_relaxed);
+  GroupByShard(
+      reports.size(), [&](std::size_t i) { return reports[i].trustor; },
+      [&](std::size_t s, const std::vector<std::size_t>& indices) {
+        Shard& shard = *shards_[s];
+        std::unique_lock<std::shared_mutex> lock(shard.mutex);
+        for (const std::size_t i : indices) {
+          const OutcomeReport& r = reports[i];
+          shard.engine.ReportOutcome(r.trustor, r.trustee, r.task,
+                                     r.outcome, r.trustor_was_abusive,
+                                     r.intermediates);
+        }
+      });
+  return Status::OK();
+}
+
+// --------------------------------------------------------- observation --
+
+TrustServiceStats TrustService::Stats() const {
+  TrustServiceStats stats;
+  stats.shard_count = shards_.size();
+  stats.pre_evaluations =
+      pre_evaluations_.load(std::memory_order_relaxed);
+  stats.delegation_requests =
+      delegation_requests_.load(std::memory_order_relaxed);
+  stats.outcome_reports =
+      outcome_reports_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    stats.record_count += shard->engine.store().size();
+    stats.pair_count += shard->engine.store().pair_count();
+  }
+  return stats;
+}
+
+}  // namespace siot::service

@@ -1,0 +1,193 @@
+// Copyright 2026 The siot-trust Authors.
+// TrustService: the concurrent serving layer over the trust model.
+//
+// The engine-level components (TrustEngine and everything below it) are
+// deliberately single-threaded; this layer makes them serve heavy mixed
+// read/write traffic. The design exploits a locality fact of the paper's
+// model: every piece of state an operation for trustor X touches is keyed
+// by X —
+//   * X's outcome estimates live under (X, trustee, task) in the store,
+//   * the reverse-evaluation usage history a trustee keeps about X is
+//     keyed (trustee, X) and is only ever consulted for X's own requests,
+//   * delegation requests read, and outcome reports write, only X's rows.
+// So the service shards BY TRUSTOR: each shard owns a full TrustEngine and
+// a striped std::shared_mutex. Queries (PreEvaluate, RequestDelegation —
+// read-only since the Eq. 23/24 rework) take the shard's lock shared, so
+// the read-mostly steady state serves concurrently; outcome reports take
+// it exclusive. Operations for different trustors never contend on state,
+// only on stripe co-residency.
+//
+// Cross-trustor configuration (task catalog, reverse-evaluation thresholds,
+// environment indicators) is replicated to every shard under a global
+// admin mutex; these are rare control-plane writes.
+//
+// Batch APIs group a request vector by shard and take each shard lock once
+// per batch, which is what the throughput bench drives. Results always
+// come back in input order. Because shards share no data-plane state, a
+// multi-threaded run over any partition of the trustors is equivalent to a
+// single-threaded run of the same per-trustor operation sequences — the
+// service and bench tests assert exactly that.
+
+#ifndef SIOT_SERVICE_TRUST_SERVICE_H_
+#define SIOT_SERVICE_TRUST_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trust/trust_engine.h"
+#include "trust/types.h"
+
+namespace siot::service {
+
+/// Service configuration.
+struct TrustServiceConfig {
+  /// Number of shards (lock stripes / engine partitions); clamped to >= 1.
+  /// More shards mean less write contention and more replicated admin
+  /// state; 4× the serving thread count is a good default.
+  std::size_t shard_count = 16;
+  /// Engine configuration applied to every shard.
+  trust::TrustEngineConfig engine;
+};
+
+/// One pre-evaluation query TW_X←Y(τ).
+struct PreEvaluateRequest {
+  trust::AgentId trustor = trust::kNoAgent;
+  trust::AgentId trustee = trust::kNoAgent;
+  trust::TaskId task = trust::kNoTask;
+};
+
+/// One delegation request (TrustEngine::RequestDelegation arguments).
+struct DelegationServiceRequest {
+  trust::AgentId trustor = trust::kNoAgent;
+  trust::TaskId task = trust::kNoTask;
+  std::vector<trust::AgentId> candidates;
+  /// Enables the Eq. 24 self-execution comparison when present.
+  std::optional<trust::OutcomeEstimates> self_estimates;
+};
+
+/// One post-evaluation report (TrustEngine::ReportOutcome arguments).
+struct OutcomeReport {
+  trust::AgentId trustor = trust::kNoAgent;
+  trust::AgentId trustee = trust::kNoAgent;
+  trust::TaskId task = trust::kNoTask;
+  trust::DelegationOutcome outcome;
+  /// Relay chain between trustor and trustee (environment Eq. 29).
+  std::vector<trust::AgentId> intermediates;
+  bool trustor_was_abusive = false;
+};
+
+/// Point-in-time service counters and store sizes.
+struct TrustServiceStats {
+  std::size_t shard_count = 0;
+  std::size_t record_count = 0;       ///< Σ shard store records.
+  std::size_t pair_count = 0;         ///< Σ shard store directed pairs.
+  std::uint64_t pre_evaluations = 0;  ///< Queries served since start.
+  std::uint64_t delegation_requests = 0;
+  std::uint64_t outcome_reports = 0;
+};
+
+/// Sharded, thread-safe trust serving layer; see file comment. All public
+/// methods are safe to call concurrently from any number of threads.
+class TrustService {
+ public:
+  explicit TrustService(TrustServiceConfig config = {});
+
+  // ----------------------------------------------------------- control --
+  // Rare, globally serialized; replicated to every shard.
+
+  /// Registers a task type in every shard's catalog. Returns the task id,
+  /// identical across shards (registration order is the id order).
+  StatusOr<trust::TaskId> RegisterTask(
+      const std::string& name,
+      const std::vector<trust::CharacteristicId>& characteristics);
+
+  /// Sets `trustee`'s reverse-evaluation threshold θ_y(τ)
+  /// (task = kNoTask ⇒ all tasks).
+  void SetReverseThreshold(trust::AgentId trustee, trust::TaskId task,
+                           double theta);
+
+  /// Sets `agent`'s instantaneous environment indicator (in (0, 1]).
+  void SetEnvironmentIndicator(trust::AgentId agent, double indicator);
+
+  // -------------------------------------------------------- data plane --
+  // Unlike the engine underneath (where an unknown task id is a
+  // programming error that trips SIOT_CHECK), the serving boundary treats
+  // malformed requests as data: every data-plane call validates the task
+  // id against the replicated catalog and returns InvalidArgument instead
+  // of bringing the process down. Batch calls validate the WHOLE batch
+  // up front and reject it atomically — no partial application.
+
+  /// Pre-evaluation TW_X←Y(τ) (shared lock on the trustor's shard).
+  StatusOr<double> PreEvaluate(trust::AgentId trustor,
+                               trust::AgentId trustee,
+                               trust::TaskId task) const;
+
+  /// Full delegation request (shared lock on the trustor's shard): ranking
+  /// under the configured strategy, Eq. 24 self comparison, reverse
+  /// evaluations.
+  StatusOr<trust::DelegationRequestResult> RequestDelegation(
+      const DelegationServiceRequest& request) const;
+
+  /// Post-evaluation (exclusive lock on the trustor's shard).
+  Status ReportOutcome(const OutcomeReport& report);
+
+  /// Batched variants: one lock acquisition per touched shard, results in
+  /// input order.
+  StatusOr<std::vector<double>> BatchPreEvaluate(
+      std::span<const PreEvaluateRequest> requests) const;
+  StatusOr<std::vector<trust::DelegationRequestResult>>
+  BatchRequestDelegation(
+      std::span<const DelegationServiceRequest> requests) const;
+  Status BatchReportOutcome(std::span<const OutcomeReport> reports);
+
+  // ------------------------------------------------------- observation --
+
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Shard index serving `trustor` (stable for the service's lifetime).
+  std::size_t ShardOf(trust::AgentId trustor) const;
+  TrustServiceStats Stats() const;
+
+  /// Direct engine access for tests and offline inspection. NOT
+  /// synchronized — the caller must guarantee no concurrent service use.
+  const trust::TrustEngine& shard_engine(std::size_t shard) const {
+    return shards_[shard]->engine;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(const trust::TrustEngineConfig& config)
+        : engine(config) {}
+    mutable std::shared_mutex mutex;
+    trust::TrustEngine engine;
+  };
+
+  /// Groups [0, count) by ShardOf(trustor-of-index) and runs `body(shard,
+  /// indices)` once per non-empty shard bucket.
+  template <typename TrustorOf, typename Body>
+  void GroupByShard(std::size_t count, const TrustorOf& trustor_of,
+                    const Body& body) const;
+
+  /// InvalidArgument unless `task` names a registered catalog entry.
+  Status ValidateTask(trust::TaskId task) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex admin_mutex_;
+  /// Registered task count, readable without shard locks (RegisterTask
+  /// publishes after full replication).
+  std::atomic<trust::TaskId> task_count_{0};
+  mutable std::atomic<std::uint64_t> pre_evaluations_{0};
+  mutable std::atomic<std::uint64_t> delegation_requests_{0};
+  std::atomic<std::uint64_t> outcome_reports_{0};
+};
+
+}  // namespace siot::service
+
+#endif  // SIOT_SERVICE_TRUST_SERVICE_H_

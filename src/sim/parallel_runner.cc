@@ -26,11 +26,22 @@ ParallelRunner::~ParallelRunner() {
 }
 
 void ParallelRunner::RunJob(Job& job, std::size_t worker_id) {
-  for (;;) {
+  // Never lets an exception escape: on a pool thread that would
+  // std::terminate, and on the calling thread it would destroy the
+  // stack-allocated Job while other workers still execute it. Instead the
+  // first exception is parked in the job, the job is cancelled, and
+  // ForEach rethrows after every worker drained.
+  while (!job.cancelled.load(std::memory_order_relaxed)) {
     const std::size_t item =
         job.next.fetch_add(1, std::memory_order_relaxed);
     if (item >= job.count) break;
-    (*job.body)(item, worker_id);
+    try {
+      (*job.body)(item, worker_id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+      job.cancelled.store(true, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -72,12 +83,17 @@ void ParallelRunner::ForEach(
     ++job_serial_;
   }
   work_ready_.notify_all();
-  // The calling thread participates as worker 0.
+  // The calling thread participates as worker 0. RunJob is noexcept in
+  // effect (it parks body exceptions inside the job), so the drain below
+  // always runs before `job` leaves scope.
   RunJob(job, 0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock,
-                  [&] { return job.workers_done == workers_.size(); });
-  job_ = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock,
+                    [&] { return job.workers_done == workers_.size(); });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 }  // namespace siot::sim

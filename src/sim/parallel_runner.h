@@ -15,6 +15,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -50,6 +51,14 @@ class ParallelRunner {
   /// scratch state — e.g. a TransitivitySearch with its caches — is safe).
   /// Blocks until every item completed. `body` must confine its writes to
   /// item- or worker-owned state.
+  ///
+  /// Exception safety: if `body` throws, the job is cancelled (workers
+  /// stop claiming new items promptly — a worker already past the
+  /// cancellation check may finish claiming/running one more item), every
+  /// worker drains off the stack-allocated job state, and the FIRST
+  /// exception is rethrown from ForEach on the calling thread — regardless
+  /// of which worker's item threw. The runner stays usable for subsequent
+  /// ForEach calls.
   void ForEach(std::size_t count,
                const std::function<void(std::size_t item,
                                         std::size_t worker)>& body);
@@ -59,7 +68,10 @@ class ParallelRunner {
     std::size_t count = 0;
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::atomic<std::size_t> next{0};
-    std::size_t workers_done = 0;  ///< guarded by mutex_
+    std::atomic<bool> cancelled{false};
+    std::size_t workers_done = 0;    ///< guarded by mutex_
+    std::exception_ptr error;        ///< first body exception; error_mutex
+    std::mutex error_mutex;
   };
 
   void WorkerLoop(std::size_t worker_id);

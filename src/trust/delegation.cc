@@ -18,31 +18,26 @@ StatusOr<DelegationDecision> DecideDelegation(
     for (const CandidateEvaluation& c : candidates) {
       estimates.push_back(c.estimates);
     }
-    SIOT_ASSIGN_OR_RETURN(const std::size_t best,
-                          SelectBestCandidate(estimates, strategy));
+    // Single O(n) pass; agrees with RankCandidates' head (same strategy
+    // score, same earliest-wins tie-break — pinned by update_test).
+    const std::size_t best =
+        SelectBestCandidate(estimates, strategy).value();
     decision.executor = candidates[best].agent;
     decision.best_candidate_profit =
         ExpectedNetProfit(candidates[best].estimates);
     decision.expected_profit = decision.best_candidate_profit;
-  }
-  if (self_estimates.has_value()) {
-    const bool delegate =
-        !candidates.empty() &&
-        ShouldDelegate(
-            // Eq. 24 compares expected net profits of the chosen candidate
-            // and of doing the task oneself.
-            [&] {
-              for (const CandidateEvaluation& c : candidates) {
-                if (c.agent == decision.executor) return c.estimates;
-              }
-              return OutcomeEstimates{};
-            }(),
-            *self_estimates);
-    if (!delegate) {
+    // Eq. 24 compares expected net profits of the chosen candidate and of
+    // doing the task oneself; delegation needs a STRICT improvement.
+    if (self_estimates.has_value() &&
+        !ShouldDelegate(candidates[best].estimates, *self_estimates)) {
       decision.executor = trustor;
       decision.self_execution = true;
       decision.expected_profit = ExpectedNetProfit(*self_estimates);
     }
+  } else {
+    decision.executor = trustor;
+    decision.self_execution = true;
+    decision.expected_profit = ExpectedNetProfit(*self_estimates);
   }
   return decision;
 }

@@ -33,11 +33,17 @@ struct DelegationDecision {
   double best_candidate_profit = 0.0;
 };
 
-/// Ranks `candidates` by `strategy` (Eq. 23 for kMaxNetProfit) and, when
+/// One-shot §4.4 decision: picks the best candidate by `strategy`
+/// (SelectBestCandidate, Eq. 23 for kMaxNetProfit) and, when
 /// `self_estimates` is provided, applies the Eq. 24 comparison: the task is
 /// delegated only if the best candidate's expected net profit strictly
 /// exceeds the trustor's own. Errors (NotFound) when there are no
 /// candidates and no self option.
+///
+/// TrustEngine::RequestDelegation composes the same primitives
+/// (RankCandidates + ShouldDelegate) but interleaves the Fig. 2 reverse
+/// evaluations, re-applying Eq. 24 at each refusal; use this function when
+/// no mutual-consent walk is needed.
 StatusOr<DelegationDecision> DecideDelegation(
     AgentId trustor, const std::optional<OutcomeEstimates>& self_estimates,
     const std::vector<CandidateEvaluation>& candidates,

@@ -49,13 +49,27 @@ struct TrustEngineConfig {
 
 /// Outcome of TrustEngine::RequestDelegation.
 struct DelegationRequestResult {
-  /// Chosen trustee; kNoAgent when no candidate was available/accepting.
+  /// Chosen executor: the accepted trustee, the trustor itself when
+  /// self-execution wins (Eq. 24), or kNoAgent when nobody executes.
   AgentId trustee = kNoAgent;
-  /// True when every candidate refused in the reverse evaluation.
+  /// True when the candidate list was empty (or contained only the
+  /// trustor): there was nobody to ask. Mutually exclusive with
+  /// `unavailable`; combines with `self_execution` when self-estimates
+  /// were provided.
+  bool no_candidates = false;
+  /// True when every candidate REFUSED in its reverse evaluation. The
+  /// trustor may still execute itself (`self_execution`) when it passed
+  /// self-estimates.
   bool unavailable = false;
-  /// Forward trustworthiness of the chosen trustee (Eq. 18 / inference).
+  /// True when the Eq. 24 comparison chose the trustor's own execution
+  /// (requires self-estimates; `trustee` is then the trustor).
+  bool self_execution = false;
+  /// Forward trustworthiness of the chosen executor (Eq. 18 / inference).
   double trustworthiness = 0.0;
-  /// Candidates that refused the delegation (reverse evaluation).
+  /// Expected net profit (Eq. 23 objective) of the chosen executor.
+  double expected_profit = 0.0;
+  /// Candidates that refused the delegation (reverse evaluation), in the
+  /// order they were asked (descending strategy score).
   std::vector<AgentId> refusals;
 };
 
@@ -72,7 +86,11 @@ class TrustEngine {
   TrustStore& store() { return store_; }
   const TrustStore& store() const { return store_; }
   ReverseEvaluator& reverse_evaluator() { return reverse_evaluator_; }
+  const ReverseEvaluator& reverse_evaluator() const {
+    return reverse_evaluator_;
+  }
   EnvironmentModel& environment() { return environment_; }
+  const EnvironmentModel& environment() const { return environment_; }
   const TrustEngineConfig& config() const { return config_; }
   const Normalizer& normalizer() const { return normalizer_; }
 
@@ -81,20 +99,49 @@ class TrustEngine {
   /// else the trustworthiness of the configured initial estimates.
   double PreEvaluate(AgentId trustor, AgentId trustee, TaskId task) const;
 
-  /// Full Eq. 1 / Fig. 2 delegation request: pre-evaluates `candidates`,
-  /// ranks them (strategy), and walks them through the candidates' reverse
-  /// evaluations until one accepts.
+  /// Full outcome estimates (Ŝ, Ĝ, D̂, Ĉ) backing PreEvaluate, in the same
+  /// precedence order: the direct record's estimates, else estimates
+  /// synthesized from the Eq. 4 inferred trustworthiness
+  /// (EstimatesFromTrustworthiness), else the configured initial estimates.
+  /// This is what the delegation decision ranks (Eqs. 23–24 need all four
+  /// quantities, not just the folded Eq. 18 scalar).
+  OutcomeEstimates EstimateOutcomes(AgentId trustor, AgentId trustee,
+                                    TaskId task) const;
+
+  /// Full Eq. 1 / Fig. 2 / §4.4 delegation request: gathers each
+  /// candidate's outcome estimates (EstimateOutcomes), ranks them under
+  /// the configured selection strategy (RankCandidates, the Eq. 23
+  /// ordering DecideDelegation picks its one-shot winner from; score ties
+  /// break by ascending agent id, so the outcome is independent of the
+  /// caller's candidate ordering), and walks the ranking through the
+  /// candidates' reverse evaluations until one accepts. When
+  /// `self_estimates` is provided, the Eq. 24 comparison runs
+  /// against the strategy-chosen best still-willing candidate at every
+  /// step: the moment that candidate fails to strictly beat self-execution,
+  /// the trustor keeps the task itself. (Under kMaxSuccessRate the
+  /// strategy's choice need not be the profit-maximal candidate — Eq. 24
+  /// judges the candidate the strategy actually selected, per the paper.)
+  /// Read-only: post-evaluation happens in ReportOutcome.
   DelegationRequestResult RequestDelegation(
-      AgentId trustor, TaskId task, const std::vector<AgentId>& candidates);
+      AgentId trustor, TaskId task, const std::vector<AgentId>& candidates,
+      const std::optional<OutcomeEstimates>& self_estimates =
+          std::nullopt) const;
 
   /// Post-evaluation after the action (both directions):
   ///  * trustor updates its estimates of the trustee from `outcome`
   ///    (environment-aware when configured, Eqs. 25–28);
   ///  * trustee records whether the trustor used its resources abusively
   ///    (feeds future reverse evaluations).
+  /// `intermediates` are the agents relaying the delegation between trustor
+  /// and trustee (empty for a direct link); under environment-aware
+  /// configs their indicators join the Eq. 29 chain aggregate, so a hostile
+  /// relay excuses a failure just like a hostile endpoint does. Callers
+  /// that delegate directly can omit it — the chain is then exactly
+  /// {trustor, trustee}.
   void ReportOutcome(AgentId trustor, AgentId trustee, TaskId task,
                      const DelegationOutcome& outcome,
-                     bool trustor_was_abusive = false);
+                     bool trustor_was_abusive = false,
+                     const std::vector<AgentId>& intermediates = {});
 
   /// Current Eq. 18 trustworthiness from the stored record (no inference);
   /// nullopt without direct experience.

@@ -39,6 +39,19 @@ double TrustworthinessFromEstimates(const OutcomeEstimates& estimates,
   return normalizer(ExpectedNetProfit(estimates));
 }
 
+OutcomeEstimates EstimatesFromTrustworthiness(double trustworthiness,
+                                              const Normalizer& normalizer) {
+  double unit = trustworthiness;
+  if (normalizer.range() == NormalizationRange::kSigned) {
+    unit = (trustworthiness + 1.0) / 2.0;
+  }
+  unit = std::clamp(unit, 0.0, 1.0);
+  const double bound = normalizer.value_bound();
+  // Raw profit Ŝ·Ĝ − (1−Ŝ)·D̂ − Ĉ = B·(3·unit − 2), exactly the affine
+  // preimage of `unit` under the normalizer (see header).
+  return {unit, bound, bound, bound * (1.0 - unit)};
+}
+
 OutcomeEstimates UpdateEstimates(const OutcomeEstimates& previous,
                                  const DelegationOutcome& outcome,
                                  const ForgettingFactors& beta) {
@@ -61,6 +74,17 @@ OutcomeEstimates UpdateEstimates(const OutcomeEstimates& previous,
   return next;
 }
 
+namespace {
+
+double StrategyScore(const OutcomeEstimates& estimates,
+                     SelectionStrategy strategy) {
+  return strategy == SelectionStrategy::kMaxSuccessRate
+             ? estimates.success_rate
+             : ExpectedNetProfit(estimates);
+}
+
+}  // namespace
+
 StatusOr<std::size_t> SelectBestCandidate(
     const std::vector<OutcomeEstimates>& candidates,
     SelectionStrategy strategy) {
@@ -70,15 +94,26 @@ StatusOr<std::size_t> SelectBestCandidate(
   std::size_t best = 0;
   double best_score = -1e300;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const double score = strategy == SelectionStrategy::kMaxSuccessRate
-                             ? candidates[i].success_rate
-                             : ExpectedNetProfit(candidates[i]);
+    const double score = StrategyScore(candidates[i], strategy);
     if (score > best_score) {
       best_score = score;
       best = i;
     }
   }
   return best;
+}
+
+std::vector<std::size_t> RankCandidates(
+    const std::vector<OutcomeEstimates>& candidates,
+    SelectionStrategy strategy) {
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return StrategyScore(candidates[a], strategy) >
+                            StrategyScore(candidates[b], strategy);
+                   });
+  return order;
 }
 
 bool ShouldDelegate(const OutcomeEstimates& other,

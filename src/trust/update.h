@@ -87,6 +87,20 @@ double ExpectedNetProfit(const OutcomeEstimates& estimates);
 double TrustworthinessFromEstimates(const OutcomeEstimates& estimates,
                                     const Normalizer& normalizer);
 
+/// Right inverse of Eq. 18: synthesizes estimates whose trustworthiness is
+/// `trustworthiness` under `normalizer`. Used when only a scalar
+/// trustworthiness is known (Eq. 4 inference, transitivity) but a ranking
+/// needs full estimates. With B = value_bound the synthesis is
+///   Ŝ = unit(trustworthiness), Ĝ = B, D̂ = B, Ĉ = B·(1 − Ŝ),
+/// which keeps every quantity inside its nominal [0, B] range, makes the
+/// success rate monotone in the trustworthiness (so both selection
+/// strategies rank synthesized candidates consistently), and reproduces
+/// TrustworthinessFromEstimates(EstimatesFromTrustworthiness(t)) == t up
+/// to floating-point rounding (within ~1 ulp; the fold is an algebraic
+/// right inverse, not a bitwise one).
+OutcomeEstimates EstimatesFromTrustworthiness(double trustworthiness,
+                                              const Normalizer& normalizer);
+
 /// Eqs. 19–22: exponential-forgetting update of the estimates from one
 /// observed outcome. Ŝ and Ĉ update on every outcome; Ĝ is the expected
 /// gain GIVEN success and D̂ the expected damage GIVEN failure (§4.4), so
@@ -108,6 +122,15 @@ enum class SelectionStrategy {
 /// `candidates`, or an error when the list is empty. Ties keep the earliest
 /// candidate (stable, deterministic).
 StatusOr<std::size_t> SelectBestCandidate(
+    const std::vector<OutcomeEstimates>& candidates,
+    SelectionStrategy strategy);
+
+/// Full ranking under `strategy`: candidate indices ordered by descending
+/// strategy score (Ŝ for kMaxSuccessRate, Eq. 23 net profit for
+/// kMaxNetProfit). Ties keep input order (stable), so the first entry
+/// always agrees with SelectBestCandidate. The delegation request walks
+/// this ranking through the candidates' reverse evaluations (Fig. 2).
+std::vector<std::size_t> RankCandidates(
     const std::vector<OutcomeEstimates>& candidates,
     SelectionStrategy strategy);
 

@@ -5,6 +5,8 @@
 #include "sim/parallel_runner.h"
 
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -59,6 +61,58 @@ TEST(ParallelRunnerTest, ReusableAcrossForEachCalls) {
 TEST(ParallelRunnerTest, ZeroThreadsPicksHardwareConcurrency) {
   ParallelRunner runner(0);
   EXPECT_GE(runner.thread_count(), 1u);
+}
+
+TEST(ParallelRunnerTest, BodyExceptionPropagatesAfterDrainingWorkers) {
+  // Regression: a throwing body used to unwind ForEach's stack frame while
+  // pool workers still executed the stack-allocated Job (use-after-scope).
+  // Now the job is cancelled, workers drain, and the exception surfaces on
+  // the calling thread — whichever worker hit it.
+  ParallelRunner runner(4);
+  EXPECT_THROW(
+      runner.ForEach(10000,
+                     [&](std::size_t item, std::size_t) {
+                       if (item == 17) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+  // The pool survives and the runner stays usable.
+  std::atomic<int> count{0};
+  runner.ForEach(100, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelRunnerTest, OnlyFirstExceptionPropagates) {
+  // Every item throws; exactly one exception must reach the caller per
+  // ForEach, and repeated failing jobs must not wedge the pool. Because a
+  // worker's own throw cancels the job before it claims another item, at
+  // most one item executes per worker — which also pins the cancellation
+  // behavior deterministically (no schedule makes the full range run).
+  ParallelRunner runner(8);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(runner.ForEach(64,
+                                [&ran](std::size_t item, std::size_t) {
+                                  ran.fetch_add(1);
+                                  throw std::invalid_argument(
+                                      std::to_string(item));
+                                }),
+                 std::invalid_argument);
+    EXPECT_GE(ran.load(), 1);
+    EXPECT_LE(ran.load(), 8);
+  }
+}
+
+TEST(ParallelRunnerTest, InlineExecutionPropagatesExceptions) {
+  // threads == 1 runs inline on the calling thread; same contract.
+  ParallelRunner runner(1);
+  std::size_t ran = 0;
+  EXPECT_THROW(runner.ForEach(100,
+                              [&](std::size_t item, std::size_t) {
+                                ++ran;
+                                if (item == 3) throw std::runtime_error("x");
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(ran, 4u);
 }
 
 TEST(ParallelRunnerTest, DeriveStreamIsPerItemDeterministic) {

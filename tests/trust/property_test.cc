@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "common/rng.h"
 #include "trust/inference.h"
@@ -198,7 +199,11 @@ TEST_P(InferenceProperty, PermutationInvariantAndConvex) {
     for (std::size_t p : picks) {
       chars.push_back(static_cast<CharacteristicId>(p));
     }
-    auto added = catalog.AddUniform("t" + std::to_string(t), chars);
+    // Two-step append instead of `"t" + std::to_string(t)`: the rvalue
+    // operator+ trips a GCC 12 -Wrestrict false positive (PR 105651).
+    std::string name = "t";
+    name += std::to_string(t);
+    auto added = catalog.AddUniform(name, chars);
     ASSERT_TRUE(added.ok());
     tasks.push_back(added.value());
   }

@@ -177,6 +177,67 @@ TEST(SelectBestCandidateTest, TieKeepsEarliest) {
             0u);
 }
 
+TEST(EstimatesFromTrustworthinessTest, RoundTripsThroughEq18) {
+  for (const NormalizationRange range :
+       {NormalizationRange::kUnit, NormalizationRange::kSigned}) {
+    for (const double bound : {1.0, 10.0}) {
+      const Normalizer n(range, bound);
+      const double lo = range == NormalizationRange::kSigned ? -1.0 : 0.0;
+      for (double t = lo; t <= 1.0; t += 0.125) {
+        const OutcomeEstimates e = EstimatesFromTrustworthiness(t, n);
+        EXPECT_NEAR(TrustworthinessFromEstimates(e, n), t, 1e-12)
+            << "range " << static_cast<int>(range) << " bound " << bound;
+        EXPECT_GE(e.success_rate, 0.0);
+        EXPECT_LE(e.success_rate, 1.0);
+        EXPECT_LE(e.gain, bound);
+        EXPECT_LE(e.damage, bound);
+        EXPECT_GE(e.cost, 0.0);
+        EXPECT_LE(e.cost, bound);
+      }
+    }
+  }
+}
+
+TEST(EstimatesFromTrustworthinessTest, MonotoneUnderBothStrategies) {
+  // Both selection strategies must rank synthesized candidates by their
+  // source trustworthiness, or inferred candidates would be mis-ordered.
+  const Normalizer n(NormalizationRange::kUnit, 1.0);
+  const OutcomeEstimates low = EstimatesFromTrustworthiness(0.3, n);
+  const OutcomeEstimates high = EstimatesFromTrustworthiness(0.7, n);
+  EXPECT_LT(low.success_rate, high.success_rate);
+  EXPECT_LT(ExpectedNetProfit(low), ExpectedNetProfit(high));
+}
+
+TEST(RankCandidatesTest, OrdersByStrategyScore) {
+  const std::vector<OutcomeEstimates> candidates = {
+      {0.9, 0.1, 0.9, 0.05},  // S 0.9, profit -0.05
+      {0.6, 1.0, 0.1, 0.05},  // S 0.6, profit  0.51
+      {0.7, 0.5, 0.2, 0.10},  // S 0.7, profit  0.19
+  };
+  EXPECT_EQ(RankCandidates(candidates, SelectionStrategy::kMaxNetProfit),
+            (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(RankCandidates(candidates, SelectionStrategy::kMaxSuccessRate),
+            (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(RankCandidatesTest, StableOnTiesAndAgreesWithSelectBest) {
+  const OutcomeEstimates same{0.5, 0.5, 0.5, 0.5};
+  const std::vector<OutcomeEstimates> candidates = {same, same, same};
+  for (const SelectionStrategy strategy :
+       {SelectionStrategy::kMaxNetProfit,
+        SelectionStrategy::kMaxSuccessRate}) {
+    const auto ranking = RankCandidates(candidates, strategy);
+    EXPECT_EQ(ranking, (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(ranking.front(),
+              SelectBestCandidate(candidates, strategy).value());
+  }
+}
+
+TEST(RankCandidatesTest, EmptyListRanksEmpty) {
+  EXPECT_TRUE(
+      RankCandidates({}, SelectionStrategy::kMaxNetProfit).empty());
+}
+
 TEST(ShouldDelegateTest, Eq24StrictComparison) {
   OutcomeEstimates self{0.8, 0.5, 0.2, 0.1};
   OutcomeEstimates better = self;

@@ -10,23 +10,29 @@
 //   siot_experiments experiment=transitivity characteristics=6 seed=7
 //   siot_experiments experiment=delegation beta=0.8 iterations=5000
 //   siot_experiments experiment=environment runs=200
+//   siot_experiments experiment=serve shards=8 threads=4 rounds=2
 //   siot_experiments config=/path/to/file.cfg
 //
 // Prints the experiment's headline metrics as an aligned table and exits
 // non-zero on configuration errors.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "graph/datasets.h"
+#include "service/trust_service.h"
 #include "sim/delegation_results_experiment.h"
 #include "sim/environment_experiment.h"
 #include "sim/mutuality_experiment.h"
+#include "sim/parallel_runner.h"
 #include "sim/transitivity_experiment.h"
 
 namespace siot {
@@ -175,6 +181,160 @@ Status RunEnvironment(const Config& config) {
   return Status::OK();
 }
 
+// One serve-mode run: `threads` workers drive delegation + outcome-report
+// batches against a sharded TrustService over the dataset's neighbor
+// lists, with a per-trustor RNG stream. Returns requests served, elapsed
+// seconds, and an order-independent digest for the determinism check.
+struct ServeRun {
+  std::size_t requests = 0;
+  double seconds = 0.0;
+  std::uint64_t digest = 0;
+  std::size_t records = 0;
+};
+
+ServeRun RunServeWorkload(const graph::SocialDataset& dataset,
+                          std::size_t shards, std::size_t threads,
+                          std::size_t rounds, std::uint64_t seed) {
+  service::TrustServiceConfig sc;
+  sc.shard_count = shards;
+  sc.engine.beta = trust::ForgettingFactors::Uniform(0.2);
+  service::TrustService svc(sc);
+  const trust::TaskId task = svc.RegisterTask("sense", {0}).value();
+  const std::size_t trustors = dataset.graph.node_count();
+  for (trust::AgentId agent = 0; agent < trustors; agent += 13) {
+    svc.SetReverseThreshold(agent, trust::kNoTask, 0.75);
+  }
+
+  std::vector<std::uint64_t> digests(trustors, 0);
+  std::atomic<std::size_t> requests{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      const std::size_t chunk = trustors / threads;
+      const std::size_t begin = w * chunk;
+      const std::size_t end = w + 1 == threads ? trustors : begin + chunk;
+      std::vector<Rng> streams;
+      for (std::size_t t = begin; t < end; ++t) {
+        streams.push_back(sim::DeriveStream(seed, t));
+      }
+      std::size_t served = 0;
+      for (std::size_t round = 0; round < rounds; ++round) {
+        std::vector<service::DelegationServiceRequest> batch;
+        std::vector<std::size_t> owners;
+        for (std::size_t t = begin; t < end; ++t) {
+          const auto neighbors =
+              dataset.graph.Neighbors(static_cast<graph::NodeId>(t));
+          if (neighbors.empty()) continue;
+          service::DelegationServiceRequest request;
+          request.trustor = static_cast<trust::AgentId>(t);
+          request.task = task;
+          request.candidates.assign(neighbors.begin(), neighbors.end());
+          owners.push_back(t);
+          batch.push_back(std::move(request));
+        }
+        const auto results = svc.BatchRequestDelegation(batch).value();
+        std::vector<service::OutcomeReport> reports;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const std::size_t t = owners[i];
+          digests[t] = digests[t] * 31 +
+                       (results[i].trustee == trust::kNoAgent
+                            ? 0xFFFFu
+                            : results[i].trustee);
+          Rng& rng = streams[t - begin];
+          service::OutcomeReport report;
+          report.trustor = batch[i].trustor;
+          report.trustee = results[i].trustee != trust::kNoAgent
+                               ? results[i].trustee
+                               : batch[i].candidates.front();
+          report.task = task;
+          report.outcome.success = rng.Bernoulli(0.7);
+          report.outcome.gain = report.outcome.success ? 0.8 : 0.0;
+          report.outcome.damage = report.outcome.success ? 0.0 : 0.4;
+          report.outcome.cost = 0.1;
+          report.trustor_was_abusive = rng.Bernoulli(0.1);
+          reports.push_back(report);
+        }
+        SIOT_CHECK(svc.BatchReportOutcome(reports).ok());
+        served += 2 * batch.size();
+      }
+      requests.fetch_add(served, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  ServeRun run;
+  run.seconds = std::chrono::duration<double>(elapsed).count();
+  run.requests = requests.load();
+  for (std::size_t t = 0; t < trustors; ++t) {
+    run.digest ^= digests[t] * 0x9E3779B97F4A7C15ull + t;
+  }
+  run.records = svc.Stats().record_count;
+  return run;
+}
+
+Status RunServe(const Config& config) {
+  SIOT_ASSIGN_OR_RETURN(
+      const graph::SocialNetwork network,
+      ParseNetwork(config.GetStringOr("network", "facebook")));
+  const graph::SocialDataset dataset = graph::LoadDataset(network);
+  // Negative values would be cast to huge std::size_t counts (the same
+  // hazard ParseThreads guards for threads), so range-check first.
+  const std::int64_t raw_shards = config.GetIntOr("shards", 8);
+  const std::int64_t raw_rounds = config.GetIntOr("rounds", 2);
+  if (raw_shards < 1 || raw_shards > 4096) {
+    return Status::InvalidArgument("shards out of range [1, 4096]");
+  }
+  if (raw_rounds < 1 || raw_rounds > 1000000) {
+    return Status::InvalidArgument("rounds out of range [1, 1000000]");
+  }
+  const auto shards = static_cast<std::size_t>(raw_shards);
+  const auto rounds = static_cast<std::size_t>(raw_rounds);
+  const auto seed = static_cast<std::uint64_t>(config.GetIntOr("seed", 2026));
+  SIOT_ASSIGN_OR_RETURN(std::size_t threads, ParseThreads(config));
+  if (threads == 0) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+
+  const ServeRun reference =
+      RunServeWorkload(dataset, shards, 1, rounds, seed);
+  TextTable table(StrFormat(
+      "TrustService serve smoke on %s (%zu shards, %zu rounds)",
+      std::string(graph::SocialNetworkName(network)).c_str(), shards,
+      rounds));
+  table.SetHeader(
+      {"threads", "requests", "ms", "req/s", "identical to 1-thread"});
+  const auto add_row = [&table](std::size_t t, const ServeRun& run,
+                                const char* identical) {
+    table.AddRow({StrFormat("%zu", t), StrFormat("%zu", run.requests),
+                  FormatDouble(run.seconds * 1e3, 1),
+                  FormatDouble(static_cast<double>(run.requests) /
+                                   std::max(run.seconds, 1e-9),
+                               0),
+                  identical});
+  };
+  add_row(1, reference, "-");
+  bool identical = true;
+  if (threads > 1) {
+    const ServeRun run =
+        RunServeWorkload(dataset, shards, threads, rounds, seed);
+    identical = run.digest == reference.digest &&
+                run.records == reference.records;
+    add_row(threads, run, identical ? "yes" : "NO — BUG");
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  // The determinism check is the point of this smoke path: a divergent
+  // multi-threaded run must fail the process (and with it the smoke_serve
+  // CTest and the TSan CI job), not just print a sad table cell.
+  if (!identical) {
+    return Status::Internal(StrFormat(
+        "serve run with %zu threads diverged from the 1-thread reference",
+        threads));
+  }
+  return Status::OK();
+}
+
 Status Run(int argc, char** argv) {
   // Accept both bare key=value tokens and GNU-style --key=value flags
   // (e.g. --threads=4): leading dashes are stripped before parsing.
@@ -208,10 +368,11 @@ Status Run(int argc, char** argv) {
   if (experiment == "transitivity") return RunTransitivity(config);
   if (experiment == "delegation") return RunDelegation(config);
   if (experiment == "environment") return RunEnvironment(config);
+  if (experiment == "serve") return RunServe(config);
   return Status::InvalidArgument(
       "usage: siot_experiments experiment=<mutuality|transitivity|"
-      "delegation|environment> [network=...] [seed=...] [--threads=N] "
-      "[key=value...] [config=<file>]");
+      "delegation|environment|serve> [network=...] [seed=...] "
+      "[--threads=N] [key=value...] [config=<file>]");
 }
 
 }  // namespace
