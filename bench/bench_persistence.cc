@@ -1,0 +1,156 @@
+// Copyright 2026 The siot-trust Authors.
+// Persistence microbenchmarks:
+//   * WAL append throughput (records/s), fsync-per-append on and off —
+//     the durability knob deployments trade against;
+//   * recovery time vs store size, from a pure WAL replay and from a
+//     checkpoint, at 1/2/8 shards.
+// Results are summarized in README.md ("Durability").
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "service/persistence.h"
+#include "service/trust_service.h"
+
+namespace {
+
+using siot::service::PersistenceOptions;
+using siot::service::ShardPersistence;
+using siot::service::TrustService;
+using siot::service::TrustServiceConfig;
+
+std::string BenchDir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("siot_bench_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TrustServiceConfig MakeConfig(std::size_t shards) {
+  TrustServiceConfig config;
+  config.shard_count = shards;
+  config.engine.beta = siot::trust::ForgettingFactors::Uniform(0.2);
+  return config;
+}
+
+/// Append throughput of one shard WAL; arg 0 = fsync per append.
+void BM_WalAppend(benchmark::State& state) {
+  const bool sync = state.range(0) != 0;
+  const std::string dir = BenchDir("wal_append");
+  PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = sync;
+  ShardPersistence persist(&options, 0);
+  siot::trust::TrustEngine engine(MakeConfig(1).engine);
+  SIOT_CHECK(engine.catalog().AddUniform("sense", {0}).ok());
+  SIOT_CHECK(persist.Recover(&engine).ok());
+  const std::string op = siot::service::EncodeOutcomeOp(
+      1, 2, 0, {true, 0.8, 0.0, 0.1}, false, {});
+  const std::vector<std::string> batch{op};
+  for (auto _ : state) {
+    SIOT_CHECK(persist.Log(batch).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(sync ? "fsync-per-append" : "os-buffered");
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// Batched append (64 records per frame batch = one write + one fsync).
+void BM_WalAppendBatch64(benchmark::State& state) {
+  const bool sync = state.range(0) != 0;
+  const std::string dir = BenchDir("wal_append_batch");
+  PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = sync;
+  ShardPersistence persist(&options, 0);
+  siot::trust::TrustEngine engine(MakeConfig(1).engine);
+  SIOT_CHECK(persist.Recover(&engine).ok());
+  const std::vector<std::string> batch(
+      64, siot::service::EncodeOutcomeOp(1, 2, 0, {true, 0.8, 0.0, 0.1},
+                                         false, {}));
+  for (auto _ : state) {
+    SIOT_CHECK(persist.Log(batch).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(sync ? "fsync-per-batch" : "os-buffered");
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendBatch64)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Builds a persisted service directory with `records` outcome records
+/// spread over the shards; optionally compacted into checkpoints.
+void BuildState(const std::string& dir, std::size_t shards,
+                std::size_t records, bool checkpointed) {
+  PersistenceOptions options;
+  options.directory = dir;
+  auto service =
+      std::move(TrustService::Open(MakeConfig(shards), options)).value();
+  SIOT_CHECK(service->RegisterTask("sense", {0}).ok());
+  std::vector<siot::service::OutcomeReport> reports;
+  for (std::size_t i = 0; i < records; ++i) {
+    siot::service::OutcomeReport report;
+    report.trustor = static_cast<siot::trust::AgentId>(i % 4096);
+    report.trustee =
+        static_cast<siot::trust::AgentId>(100000 + i / 4096);
+    report.task = 0;
+    report.outcome = {i % 3 != 0, 0.75, 0.125, 0.1};
+    reports.push_back(report);
+    if (reports.size() == 1024) {
+      SIOT_CHECK(service->BatchReportOutcome(reports).ok());
+      reports.clear();
+    }
+  }
+  if (!reports.empty()) {
+    SIOT_CHECK(service->BatchReportOutcome(reports).ok());
+  }
+  if (checkpointed) SIOT_CHECK(service->Checkpoint().ok());
+}
+
+/// Recovery wall time; args: records, shards, checkpointed.
+void BM_Recovery(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const bool checkpointed = state.range(2) != 0;
+  const std::string dir =
+      BenchDir("recovery_" + std::to_string(records) + "_" +
+               std::to_string(shards) + "_" +
+               std::to_string(checkpointed ? 1 : 0));
+  BuildState(dir, shards, records, checkpointed);
+  PersistenceOptions options;
+  options.directory = dir;
+  std::size_t recovered_records = 0;
+  for (auto _ : state) {
+    auto service =
+        std::move(TrustService::Open(MakeConfig(shards), options))
+            .value();
+    recovered_records = service->Stats().record_count;
+    benchmark::DoNotOptimize(recovered_records);
+  }
+  SIOT_CHECK(recovered_records == records);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.SetLabel(checkpointed ? "from-checkpoint" : "wal-replay");
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_Recovery)
+    ->Args({10000, 1, 0})
+    ->Args({10000, 1, 1})
+    ->Args({10000, 2, 0})
+    ->Args({10000, 2, 1})
+    ->Args({10000, 8, 0})
+    ->Args({10000, 8, 1})
+    ->Args({100000, 8, 0})
+    ->Args({100000, 8, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "common/checksum.h"
+
+#include <array>
+
+namespace siot {
+
+namespace {
+
+// Reflected CRC-32C table for the Castagnoli polynomial 0x1EDC6F41
+// (reflected form 0x82F63B78), generated at compile time.
+constexpr std::array<std::uint32_t, 256> MakeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(std::string_view data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = (crc >> 8) ^
+          kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32cMask(std::uint32_t crc) {
+  // Rotate right by 15 bits and add a constant (LevelDB's masking scheme).
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+}  // namespace siot

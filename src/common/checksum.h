@@ -1,0 +1,27 @@
+// Copyright 2026 The siot-trust Authors.
+// CRC-32C (Castagnoli polynomial, as used by RocksDB WALs, iSCSI, ext4).
+// The persistence layer frames every write-ahead-log record and checkpoint
+// body with this checksum so a torn or bit-flipped file is detected at
+// recovery instead of silently loading corrupt trust state.
+
+#ifndef SIOT_COMMON_CHECKSUM_H_
+#define SIOT_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace siot {
+
+/// CRC-32C of `data`, continuing from `seed` (pass the previous result to
+/// checksum a logically concatenated buffer in pieces). The empty string
+/// with seed 0 hashes to 0.
+std::uint32_t Crc32c(std::string_view data, std::uint32_t seed = 0);
+
+/// Masked CRC in the spirit of LevelDB: storing a CRC of data that itself
+/// contains CRCs is prone to coincidental matches, so stored checksums are
+/// rotated and offset. Verify by comparing Crc32cMask(Crc32c(data)).
+std::uint32_t Crc32cMask(std::uint32_t crc);
+
+}  // namespace siot
+
+#endif  // SIOT_COMMON_CHECKSUM_H_

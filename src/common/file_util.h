@@ -1,0 +1,44 @@
+// Copyright 2026 The siot-trust Authors.
+// Small filesystem helpers for the persistence layer. All fallible
+// operations return Status (RocksDB/Arrow idiom); none throw.
+
+#ifndef SIOT_COMMON_FILE_UTIL_H_
+#define SIOT_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace siot {
+
+/// Reads a whole file into a string (binary-safe).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// True if `path` exists (file or directory).
+bool FileExists(const std::string& path);
+
+/// Creates `path` and missing parents; OK if it already exists.
+Status CreateDirectories(const std::string& path);
+
+/// Removes a file; OK if it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Writes `contents` to `path` atomically: write to `path + ".tmp"`,
+/// fsync, rename over `path`, fsync the parent directory. Readers never
+/// observe a half-written file — they see either the old bytes or the new.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// fsyncs a directory so a preceding create/rename in it is durable.
+Status SyncDirectory(const std::string& path);
+
+/// Writes all of `data` to the open descriptor `fd`, retrying short
+/// writes and EINTR; `path` names the file in error messages.
+Status WriteFully(int fd, const char* data, std::size_t size,
+                  const std::string& path);
+
+/// "<what> <path>: <strerror(errno)>" — for reporting a failed syscall.
+std::string ErrnoMessage(const std::string& what, const std::string& path);
+
+}  // namespace siot
+
+#endif  // SIOT_COMMON_FILE_UTIL_H_

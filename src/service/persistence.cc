@@ -1,0 +1,669 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "service/persistence.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/checksum.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "trust/trust_store_io.h"
+
+namespace siot::service {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 16;  // u32 len, u32 crc, u64 seq
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;
+constexpr char kCheckpointMagic[] = "siot-checkpoint";
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+std::uint32_t GetU32(std::string_view bytes) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[static_cast<
+        std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(std::string_view bytes) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[static_cast<
+        std::size_t>(i)]);
+  }
+  return v;
+}
+
+Status Fire(const FaultHook& hook, PersistStage stage, std::size_t shard) {
+  if (!hook) return Status::OK();
+  return hook(stage, shard);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- paths --
+
+std::string ShardWalPath(const std::string& directory, std::size_t shard) {
+  return directory + "/shard-" + std::to_string(shard) + ".wal";
+}
+
+std::string ShardCheckpointPath(const std::string& directory,
+                                std::size_t shard) {
+  return directory + "/shard-" + std::to_string(shard) + ".ckpt";
+}
+
+std::string ManifestPath(const std::string& directory) {
+  return directory + "/manifest";
+}
+
+// ---------------------------------------------------------- WalWriter --
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path,
+                       std::uint64_t start_offset) {
+  Close();
+  poisoned_ = false;
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IoError(ErrnoMessage("cannot open WAL", path));
+  }
+  // Drop any torn tail a crash mid-append left behind: appending new
+  // frames after garbage bytes would make them unreachable at recovery.
+  struct ::stat st;
+  if (::fstat(fd_, &st) != 0) {
+    Close();
+    return Status::IoError(ErrnoMessage("cannot stat WAL", path));
+  }
+  if (static_cast<std::uint64_t>(st.st_size) > start_offset) {
+    if (::ftruncate(fd_, static_cast<::off_t>(start_offset)) != 0) {
+      Close();
+      return Status::IoError(ErrnoMessage("cannot truncate WAL tail", path));
+    }
+    if (::fsync(fd_) != 0) {
+      Close();
+      return Status::IoError(ErrnoMessage("fsync failed", path));
+    }
+  }
+  // Make the file's existence durable (first boot creates it).
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  return SyncDirectory(parent.empty() ? "." : parent);
+}
+
+Status WalWriter::Append(const std::vector<std::string>& payloads,
+                         std::uint64_t first_seq, bool sync,
+                         const FaultHook& hook, std::size_t shard) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "WAL writer poisoned by an earlier failed append: " + path_);
+  }
+  std::string buffer;
+  std::uint64_t seq = first_seq;
+  for (const std::string& payload : payloads) {
+    SIOT_CHECK_MSG(payload.size() < kMaxPayloadBytes,
+                   "WAL payload of %zu bytes", payload.size());
+    std::string seq_bytes;
+    PutU64(&seq_bytes, seq);
+    const std::uint32_t crc =
+        Crc32cMask(Crc32c(payload, Crc32c(seq_bytes)));
+    PutU32(&buffer, static_cast<std::uint32_t>(payload.size()));
+    PutU32(&buffer, crc);
+    buffer += seq_bytes;
+    buffer += payload;
+    ++seq;
+  }
+  // Any failure from here on — including a simulated crash from the
+  // fault hook — leaves the on-disk tail in an unknown state, so the
+  // writer is poisoned (see header).
+  const auto fail = [this](Status status) {
+    poisoned_ = true;
+    return status;
+  };
+  if (Status s = Fire(hook, PersistStage::kWalBeforeAppend, shard);
+      !s.ok()) {
+    return fail(std::move(s));
+  }
+  if (hook) {
+    // Two-part write with a kill-point in the middle: a crash mid-append
+    // must leave a torn frame, and the harness needs to stand exactly
+    // there.
+    const std::size_t half = buffer.size() / 2;
+    if (Status s = WriteFully(fd_, buffer.data(), half, path_); !s.ok()) {
+      return fail(std::move(s));
+    }
+    if (Status s = Fire(hook, PersistStage::kWalMidAppend, shard);
+        !s.ok()) {
+      return fail(std::move(s));
+    }
+    if (Status s = WriteFully(fd_, buffer.data() + half,
+                              buffer.size() - half, path_);
+        !s.ok()) {
+      return fail(std::move(s));
+    }
+  } else {
+    if (Status s = WriteFully(fd_, buffer.data(), buffer.size(), path_);
+        !s.ok()) {
+      return fail(std::move(s));
+    }
+  }
+  if (sync && ::fsync(fd_) != 0) {
+    return fail(Status::IoError(ErrnoMessage("fsync failed", path_)));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError(ErrnoMessage("cannot truncate WAL", path_));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(ErrnoMessage("fsync failed", path_));
+  }
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<WalContents> ReadWal(const std::string& path) {
+  WalContents contents;
+  if (!FileExists(path)) return contents;
+  SIOT_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  std::size_t offset = 0;
+  while (offset + kFrameHeaderBytes <= bytes.size()) {
+    const std::string_view frame(bytes.data() + offset,
+                                 bytes.size() - offset);
+    const std::uint32_t len = GetU32(frame.substr(0, 4));
+    const std::uint32_t stored_crc = GetU32(frame.substr(4, 4));
+    if (len > kMaxPayloadBytes ||
+        kFrameHeaderBytes + static_cast<std::size_t>(len) > frame.size()) {
+      // Torn tail (crash mid-append) or a corrupt length. Either way the
+      // frame was never fully on disk, so it was never acknowledged.
+      break;
+    }
+    const std::string_view checked = frame.substr(8, 8 + len);
+    if (Crc32cMask(Crc32c(checked)) != stored_crc) break;
+    contents.entries.push_back(
+        {GetU64(frame.substr(8, 8)),
+         std::string(frame.substr(kFrameHeaderBytes, len))});
+    offset += kFrameHeaderBytes + len;
+  }
+  contents.valid_bytes = offset;
+  contents.dropped_bytes = bytes.size() - offset;
+  contents.dropped_tail = contents.dropped_bytes != 0;
+  return contents;
+}
+
+// ------------------------------------------------------ DirectoryLock --
+
+DirectoryLock::~DirectoryLock() { Release(); }
+
+Status DirectoryLock::Acquire(const std::string& directory) {
+  Release();
+  const std::string path = directory + "/LOCK";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open lock file", path));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int flock_errno = errno;  // close() below may clobber errno.
+    ::close(fd);
+    if (flock_errno == EWOULDBLOCK) {
+      return Status::FailedPrecondition(
+          "persistence directory " + directory +
+          " is already open in another live service instance");
+    }
+    return Status::IoError("cannot lock " + path + ": " +
+                           std::strerror(flock_errno));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void DirectoryLock::Release() {
+  if (fd_ >= 0) {
+    // Closing drops the flock.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ----------------------------------------------------------------- ops --
+
+std::string EncodeOutcomeOp(
+    trust::AgentId trustor, trust::AgentId trustee, trust::TaskId task,
+    const trust::DelegationOutcome& outcome, bool trustor_was_abusive,
+    const std::vector<trust::AgentId>& intermediates) {
+  std::string op = StrFormat(
+      "outcome %u %u %u %d %.17g %.17g %.17g %d %zu", trustor, trustee,
+      task, outcome.success ? 1 : 0, outcome.gain, outcome.damage,
+      outcome.cost, trustor_was_abusive ? 1 : 0, intermediates.size());
+  for (const trust::AgentId agent : intermediates) {
+    op += StrFormat(" %u", agent);
+  }
+  return op;
+}
+
+std::string EncodeTaskOp(
+    const std::string& name,
+    const std::vector<trust::CharacteristicId>& characteristics) {
+  std::string op =
+      StrFormat("task %s %zu", trust::EscapeNameToken(name).c_str(),
+                characteristics.size());
+  for (const trust::CharacteristicId c : characteristics) {
+    op += StrFormat(" %u", c);
+  }
+  return op;
+}
+
+std::string EncodeThetaOp(trust::AgentId trustee, trust::TaskId task,
+                          double theta) {
+  if (task == trust::kNoTask) {
+    return StrFormat("theta %u * %.17g", trustee, theta);
+  }
+  return StrFormat("theta %u %u %.17g", trustee, task, theta);
+}
+
+std::string EncodeEnvOp(trust::AgentId agent, double indicator) {
+  return StrFormat("env %u %.17g", agent, indicator);
+}
+
+namespace {
+
+Status OpCorruption(std::string_view payload, const std::string& what) {
+  return Status::Corruption(
+      StrFormat("WAL op: %s in %s", what.c_str(),
+                trust::CorruptionSnippet(payload).c_str()));
+}
+
+StatusOr<std::int64_t> OpId(std::string_view payload,
+                            const std::string& field, const char* name) {
+  const auto parsed = ParseInt(field);
+  if (!parsed.ok() || parsed.value() < 0 ||
+      parsed.value() > trust::kMaxSerializedId) {
+    return OpCorruption(payload,
+                        StrFormat("malformed %s '%s'", name,
+                                  field.c_str()));
+  }
+  return parsed.value();
+}
+
+StatusOr<double> OpDouble(std::string_view payload,
+                          const std::string& field, const char* name) {
+  const auto parsed = ParseDouble(field);
+  if (!parsed.ok()) {
+    return OpCorruption(payload,
+                        StrFormat("malformed %s '%s'", name,
+                                  field.c_str()));
+  }
+  return parsed.value();
+}
+
+StatusOr<bool> OpFlag(std::string_view payload, const std::string& field,
+                      const char* name) {
+  if (field == "0") return false;
+  if (field == "1") return true;
+  return OpCorruption(payload, StrFormat("malformed %s '%s'", name,
+                                         field.c_str()));
+}
+
+}  // namespace
+
+Status ApplyWalOp(std::string_view payload, trust::TrustEngine* engine) {
+  const std::vector<std::string> fields = Split(Trim(payload), ' ');
+  if (fields.empty() || fields[0].empty()) {
+    return OpCorruption(payload, "empty op");
+  }
+  const std::string& op = fields[0];
+  if (op == "outcome") {
+    if (fields.size() < 10) {
+      return OpCorruption(
+          payload, StrFormat("expected >= 10 fields, got %zu",
+                             fields.size()));
+    }
+    SIOT_ASSIGN_OR_RETURN(const std::int64_t trustor,
+                          OpId(payload, fields[1], "trustor"));
+    SIOT_ASSIGN_OR_RETURN(const std::int64_t trustee,
+                          OpId(payload, fields[2], "trustee"));
+    SIOT_ASSIGN_OR_RETURN(const std::int64_t task,
+                          OpId(payload, fields[3], "task"));
+    SIOT_ASSIGN_OR_RETURN(const bool success,
+                          OpFlag(payload, fields[4], "success"));
+    SIOT_ASSIGN_OR_RETURN(const double gain,
+                          OpDouble(payload, fields[5], "gain"));
+    SIOT_ASSIGN_OR_RETURN(const double damage,
+                          OpDouble(payload, fields[6], "damage"));
+    SIOT_ASSIGN_OR_RETURN(const double cost,
+                          OpDouble(payload, fields[7], "cost"));
+    SIOT_ASSIGN_OR_RETURN(const bool abusive,
+                          OpFlag(payload, fields[8], "abusive flag"));
+    const auto count = ParseInt(fields[9]);
+    if (!count.ok() || count.value() < 0 ||
+        static_cast<std::size_t>(count.value()) != fields.size() - 10) {
+      return OpCorruption(
+          payload, StrFormat("intermediate count '%s' does not match %zu "
+                             "trailing fields",
+                             fields[9].c_str(), fields.size() - 10));
+    }
+    // A corrupt log must never trip an engine SIOT_CHECK: the engine
+    // treats an unknown task id as a programming error, so check it here
+    // the way the serving boundary does.
+    if (static_cast<std::size_t>(task) >= engine->catalog().size()) {
+      return OpCorruption(
+          payload, StrFormat("task %lld not in the catalog (%zu tasks)",
+                             static_cast<long long>(task),
+                             engine->catalog().size()));
+    }
+    if (static_cast<trust::AgentId>(trustor) == trust::kNoAgent ||
+        static_cast<trust::AgentId>(trustee) == trust::kNoAgent) {
+      return OpCorruption(payload, "sentinel agent id");
+    }
+    // The serving boundary never logs non-finite observations; one here
+    // means corruption, and applying it would poison the estimates.
+    for (const double value : {gain, damage, cost}) {
+      if (!std::isfinite(value)) {
+        return OpCorruption(payload, "non-finite outcome value");
+      }
+    }
+    std::vector<trust::AgentId> intermediates;
+    intermediates.reserve(fields.size() - 10);
+    for (std::size_t i = 10; i < fields.size(); ++i) {
+      SIOT_ASSIGN_OR_RETURN(const std::int64_t agent,
+                            OpId(payload, fields[i], "intermediate"));
+      intermediates.push_back(static_cast<trust::AgentId>(agent));
+    }
+    trust::DelegationOutcome outcome;
+    outcome.success = success;
+    outcome.gain = gain;
+    outcome.damage = damage;
+    outcome.cost = cost;
+    engine->ReportOutcome(static_cast<trust::AgentId>(trustor),
+                          static_cast<trust::AgentId>(trustee),
+                          static_cast<trust::TaskId>(task), outcome,
+                          abusive, intermediates);
+    return Status::OK();
+  }
+  if (op == "task") {
+    if (fields.size() < 3) {
+      return OpCorruption(payload, "expected >= 3 fields");
+    }
+    const auto name = trust::UnescapeNameToken(fields[1]);
+    if (!name.ok()) {
+      return OpCorruption(payload, StrFormat("malformed task name '%s'",
+                                             fields[1].c_str()));
+    }
+    const auto count = ParseInt(fields[2]);
+    if (!count.ok() || count.value() < 0 ||
+        static_cast<std::size_t>(count.value()) != fields.size() - 3) {
+      return OpCorruption(
+          payload, StrFormat("characteristic count '%s' does not match "
+                             "%zu trailing fields",
+                             fields[2].c_str(), fields.size() - 3));
+    }
+    std::vector<trust::CharacteristicId> characteristics;
+    characteristics.reserve(fields.size() - 3);
+    for (std::size_t i = 3; i < fields.size(); ++i) {
+      SIOT_ASSIGN_OR_RETURN(const std::int64_t c,
+                            OpId(payload, fields[i], "characteristic"));
+      if (static_cast<std::size_t>(c) >= trust::kMaxCharacteristics) {
+        return OpCorruption(
+            payload, StrFormat("characteristic %lld out of range",
+                               static_cast<long long>(c)));
+      }
+      characteristics.push_back(static_cast<trust::CharacteristicId>(c));
+    }
+    const auto added =
+        engine->catalog().AddUniform(name.value(), characteristics);
+    if (!added.ok()) {
+      return OpCorruption(payload,
+                          "invalid task: " + added.status().message());
+    }
+    return Status::OK();
+  }
+  if (op == "theta") {
+    if (fields.size() != 4) {
+      return OpCorruption(payload, "expected 4 fields");
+    }
+    SIOT_ASSIGN_OR_RETURN(const std::int64_t trustee,
+                          OpId(payload, fields[1], "trustee"));
+    std::int64_t task = static_cast<std::int64_t>(trust::kNoTask);
+    if (fields[2] != "*") {
+      SIOT_ASSIGN_OR_RETURN(task, OpId(payload, fields[2], "task"));
+    }
+    SIOT_ASSIGN_OR_RETURN(const double theta,
+                          OpDouble(payload, fields[3], "theta"));
+    if (std::isnan(theta)) {
+      // The boundary rejects NaN thresholds (they defeat reconcile's
+      // exact-equality compare); one in a log is corruption.
+      return OpCorruption(payload, "NaN theta");
+    }
+    engine->reverse_evaluator().SetThreshold(
+        static_cast<trust::AgentId>(trustee),
+        static_cast<trust::TaskId>(task), theta);
+    return Status::OK();
+  }
+  if (op == "env") {
+    if (fields.size() != 3) {
+      return OpCorruption(payload, "expected 3 fields");
+    }
+    SIOT_ASSIGN_OR_RETURN(const std::int64_t agent,
+                          OpId(payload, fields[1], "agent"));
+    SIOT_ASSIGN_OR_RETURN(const double indicator,
+                          OpDouble(payload, fields[2], "indicator"));
+    if (!(indicator > 0.0 && indicator <= 1.0)) {
+      return OpCorruption(payload,
+                          StrFormat("indicator %g outside (0, 1]",
+                                    indicator));
+    }
+    engine->environment().SetIndicator(static_cast<trust::AgentId>(agent),
+                                       indicator);
+    return Status::OK();
+  }
+  return OpCorruption(payload,
+                      StrFormat("unknown op '%s'", op.c_str()));
+}
+
+// --------------------------------------------------- ShardPersistence --
+
+ShardPersistence::ShardPersistence(const PersistenceOptions* options,
+                                   std::size_t shard)
+    : options_(options),
+      shard_(shard),
+      wal_path_(ShardWalPath(options->directory, shard)),
+      checkpoint_path_(ShardCheckpointPath(options->directory, shard)) {}
+
+namespace {
+
+/// Parses a checkpoint file into (applied_seq, engine-state body).
+Status ParseCheckpoint(const std::string& path, const std::string& bytes,
+                       std::uint64_t* applied_seq, std::string_view* body) {
+  const std::size_t newline = bytes.find('\n');
+  if (newline == std::string::npos) {
+    return Status::Corruption("checkpoint " + path + ": missing header");
+  }
+  const std::vector<std::string> header =
+      Split(bytes.substr(0, newline), ' ');
+  if (header.size() != 4 || header[0] != kCheckpointMagic ||
+      header[1] != "1") {
+    return Status::Corruption("checkpoint " + path + ": bad header '" +
+                              bytes.substr(0, newline) + "'");
+  }
+  const auto body_bytes = ParseInt(header[2]);
+  const auto stored_crc = ParseInt(header[3]);
+  if (!body_bytes.ok() || body_bytes.value() < 0 || !stored_crc.ok() ||
+      stored_crc.value() < 0 ||
+      stored_crc.value() > 0xFFFFFFFFll) {
+    return Status::Corruption("checkpoint " + path +
+                              ": malformed header fields");
+  }
+  *body = std::string_view(bytes).substr(newline + 1);
+  if (body->size() != static_cast<std::size_t>(body_bytes.value())) {
+    return Status::Corruption(StrFormat(
+        "checkpoint %s: body is %zu bytes, header says %lld (truncated?)",
+        path.c_str(), body->size(),
+        static_cast<long long>(body_bytes.value())));
+  }
+  if (Crc32cMask(Crc32c(*body)) !=
+      static_cast<std::uint32_t>(stored_crc.value())) {
+    return Status::Corruption("checkpoint " + path +
+                              ": CRC mismatch (bit rot?)");
+  }
+  // The body's first line carries the last WAL sequence folded in.
+  const std::size_t body_newline = body->find('\n');
+  const std::vector<std::string> seq_fields = Split(
+      body->substr(0, body_newline == std::string_view::npos
+                          ? body->size()
+                          : body_newline),
+      ' ');
+  const auto seq = seq_fields.size() == 2 && seq_fields[0] == "applied_seq"
+                       ? ParseInt(seq_fields[1])
+                       : StatusOr<std::int64_t>(
+                             Status::Corruption("missing applied_seq"));
+  if (!seq.ok() || seq.value() < 0) {
+    return Status::Corruption("checkpoint " + path +
+                              ": missing applied_seq line");
+  }
+  *applied_seq = static_cast<std::uint64_t>(seq.value());
+  *body = body->substr(body_newline + 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ShardPersistence::Recover(trust::TrustEngine* engine) {
+  // A .tmp checkpoint is a crash artifact of an unfinished Checkpoint();
+  // the durable .ckpt (if any) is authoritative.
+  SIOT_RETURN_IF_ERROR(RemoveFileIfExists(checkpoint_path_ + ".tmp"));
+  std::uint64_t applied_seq = 0;
+  if (FileExists(checkpoint_path_)) {
+    SIOT_ASSIGN_OR_RETURN(const std::string bytes,
+                          ReadFileToString(checkpoint_path_));
+    std::string_view body;
+    SIOT_RETURN_IF_ERROR(
+        ParseCheckpoint(checkpoint_path_, bytes, &applied_seq, &body));
+    SIOT_RETURN_IF_ERROR(trust::DeserializeTrustEngineState(body, engine));
+  }
+  SIOT_ASSIGN_OR_RETURN(const WalContents wal, ReadWal(wal_path_));
+  if (wal.dropped_tail) {
+    // One torn record is the expected artifact of a crash mid-append
+    // (the write was never acknowledged). Anything bigger means
+    // mid-file corruption cut off records that WERE acknowledged —
+    // recovery still proceeds with the consistent prefix, but the
+    // operator must hear about it.
+    SIOT_LOG_WARN(
+        "WAL %s: dropping %llu trailing bytes past the last valid frame "
+        "(%zu records recovered) — expected after a crash mid-append; "
+        "a large drop means mid-file corruption cut acknowledged writes",
+        wal_path_.c_str(),
+        static_cast<unsigned long long>(wal.dropped_bytes),
+        wal.entries.size());
+  }
+  std::uint64_t last_seq = applied_seq;
+  appends_since_checkpoint_ = 0;
+  for (const WalEntry& entry : wal.entries) {
+    if (entry.seq <= applied_seq) continue;  // Folded into the checkpoint.
+    // Appends are assigned consecutive sequence numbers under the shard
+    // lock, so the replayed tail must be contiguous; a gap or repeat
+    // means frames were reordered or the file was spliced.
+    if (entry.seq != last_seq + 1) {
+      return Status::Corruption(StrFormat(
+          "WAL %s: sequence jumped from %llu to %llu",
+          wal_path_.c_str(), static_cast<unsigned long long>(last_seq),
+          static_cast<unsigned long long>(entry.seq)));
+    }
+    SIOT_RETURN_IF_ERROR(ApplyWalOp(entry.payload, engine));
+    last_seq = entry.seq;
+    ++appends_since_checkpoint_;
+  }
+  next_seq_ = last_seq + 1;
+  return writer_.Open(wal_path_, wal.valid_bytes);
+}
+
+Status ShardPersistence::Log(const std::vector<std::string>& payloads) {
+  if (payloads.empty()) return Status::OK();
+  SIOT_RETURN_IF_ERROR(writer_.Append(payloads, next_seq_,
+                                      options_->sync_every_append,
+                                      options_->fault_hook, shard_));
+  // The frames are durable from here on — advance the counters before
+  // the post-append kill-point so even a "crashed" object stays
+  // internally consistent.
+  next_seq_ += payloads.size();
+  appends_since_checkpoint_ += payloads.size();
+  return Fire(options_->fault_hook, PersistStage::kWalAfterAppend,
+              shard_);
+}
+
+Status ShardPersistence::Checkpoint(const trust::TrustEngine& engine) {
+  const std::string body =
+      StrFormat("applied_seq %llu\n",
+                static_cast<unsigned long long>(next_seq_ - 1)) +
+      trust::SerializeTrustEngineState(engine);
+  const std::string content =
+      StrFormat("%s 1 %zu %u\n", kCheckpointMagic, body.size(),
+                Crc32cMask(Crc32c(body))) +
+      body;
+  const std::string tmp = checkpoint_path_ + ".tmp";
+  const FaultHook& hook = options_->fault_hook;
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open", tmp));
+  const std::size_t half = content.size() / 2;
+  Status status = WriteFully(fd, content.data(), half, tmp);
+  if (status.ok()) {
+    status = Fire(hook, PersistStage::kCheckpointMidWrite, shard_);
+  }
+  if (status.ok()) {
+    status = WriteFully(fd, content.data() + half, content.size() - half,
+                        tmp);
+  }
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IoError(ErrnoMessage("fsync failed", tmp));
+  }
+  ::close(fd);
+  SIOT_RETURN_IF_ERROR(status);
+
+  SIOT_RETURN_IF_ERROR(
+      Fire(hook, PersistStage::kCheckpointBeforeRename, shard_));
+  if (std::rename(tmp.c_str(), checkpoint_path_.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename failed", tmp));
+  }
+  SIOT_RETURN_IF_ERROR(SyncDirectory(options_->directory));
+  SIOT_RETURN_IF_ERROR(
+      Fire(hook, PersistStage::kCheckpointBeforeTruncate, shard_));
+  SIOT_RETURN_IF_ERROR(writer_.Truncate());
+  appends_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+}  // namespace siot::service

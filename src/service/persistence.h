@@ -1,0 +1,261 @@
+// Copyright 2026 The siot-trust Authors.
+// Durable per-shard persistence for TrustService: checkpoint + write-ahead
+// log. The trust model is built from accumulated per-pair outcome
+// histories (Eqs. 14–18, 29); a serving layer that forgets them on every
+// restart cannot back a real SIoT deployment.
+//
+// Lifecycle per shard (all files under one service directory):
+//
+//   shard-<i>.wal    append-only log. Every data-plane mutation and every
+//                    replicated admin write is encoded as a text op and
+//                    appended as a CRC32C-framed, length-prefixed,
+//                    sequence-numbered record BEFORE it is applied to the
+//                    shard's engine. A write is acknowledged to the caller
+//                    only after its log record is durably appended AND
+//                    applied.
+//   shard-<i>.ckpt   checkpoint: the full engine state
+//                    (SerializeTrustEngineState) plus the sequence number
+//                    of the last op folded in. Written atomically
+//                    (tmp + fsync + rename + dir fsync), then the WAL is
+//                    truncated. Ops are idempotently skipped at recovery
+//                    when their seq is <= the checkpoint's.
+//   manifest         shard count + an engine-config fingerprint, so a
+//                    directory can never be recovered under a different
+//                    sharding or model configuration (records would land
+//                    on the wrong shards / replay would diverge).
+//
+// Recovery = load checkpoint (if any) + replay the WAL tail. The result is
+// byte-identical (serialize-compare) to the state at the moment of the
+// last acknowledged write, whatever instant the process died at:
+//   * a torn final WAL record (crash mid-append) is detected by the length
+//     prefix/CRC and dropped — it was never acknowledged;
+//   * a complete record that was never applied (crash between append and
+//     apply) replays idempotently;
+//   * a half-written checkpoint only ever exists under the .tmp name and
+//     is ignored;
+//   * a renamed checkpoint with a stale WAL (crash before truncation)
+//     skips the already-folded ops by sequence number.
+// Corrupt files (bit flips, mid-file truncation) recover the longest
+// valid prefix or return Status Corruption — never a crash.
+//
+// The FaultHook exists for the crash-recovery test harness: it is invoked
+// at every kill-point of the write path, and a non-OK return makes the
+// persistence layer stop dead at that point, exactly as if the process had
+// been killed there (the in-flight bytes stay half-written). Production
+// code leaves it unset.
+
+#ifndef SIOT_SERVICE_PERSISTENCE_H_
+#define SIOT_SERVICE_PERSISTENCE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trust/trust_engine.h"
+
+namespace siot::service {
+
+/// Kill-points of the durable write path, in execution order. The
+/// fault-injection harness interrupts each one and asserts recovery.
+enum class PersistStage {
+  kWalBeforeAppend,          ///< Nothing written yet.
+  kWalMidAppend,             ///< Half the frame bytes written (torn record).
+  kWalAfterAppend,           ///< Frame durable; op NOT yet applied.
+  kCheckpointMidWrite,       ///< Half the checkpoint tmp file written.
+  kCheckpointBeforeRename,   ///< Tmp complete + synced; not yet renamed.
+  kCheckpointBeforeTruncate, ///< Renamed; WAL not yet truncated.
+};
+
+/// Test-only crash simulation: return non-OK to stop the write path at
+/// `stage` as if the process died there. `shard` is the shard index.
+using FaultHook = std::function<Status(PersistStage, std::size_t)>;
+
+/// Durability configuration for TrustService::Open.
+struct PersistenceOptions {
+  /// Directory holding manifest + per-shard checkpoint/WAL files
+  /// (created if missing).
+  std::string directory;
+  /// fsync the WAL after every append (group appends fsync once per
+  /// batch). Off by default: the bench shows the gap, deployments choose.
+  bool sync_every_append = false;
+  /// Checkpoint a shard inline once this many WAL appends accumulate
+  /// since its last checkpoint (0 = only explicit/periodic checkpoints).
+  std::size_t checkpoint_every_appends = 0;
+  /// Background thread checkpoints dirty shards this often
+  /// (0 = no background thread).
+  std::chrono::milliseconds checkpoint_period{0};
+  /// Test-only kill-point hook; see FaultHook.
+  FaultHook fault_hook;
+};
+
+/// One decoded WAL record.
+struct WalEntry {
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Result of scanning a WAL file.
+struct WalContents {
+  std::vector<WalEntry> entries;
+  /// Bytes of the longest valid frame prefix; anything past it is a torn
+  /// tail from a crash mid-append — or, if larger than one frame,
+  /// mid-file corruption. Recover logs a warning naming the dropped
+  /// byte count, then truncates to the valid prefix.
+  std::uint64_t valid_bytes = 0;
+  /// Bytes past the last valid frame (0 for a cleanly closed log).
+  std::uint64_t dropped_bytes = 0;
+  /// True when trailing bytes past `valid_bytes` were dropped.
+  bool dropped_tail = false;
+};
+
+/// Append-only CRC-framed log writer. Frame layout (little-endian):
+///   [u32 payload_len][u32 masked crc32c(seq + payload)][u64 seq][payload]
+/// Not thread-safe; the owning shard's exclusive lock serializes access.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if needed) for append; `start_offset` truncates any
+  /// torn tail a previous crash left first.
+  Status Open(const std::string& path, std::uint64_t start_offset);
+
+  /// Appends frames for `payloads` with consecutive sequence numbers
+  /// starting at `first_seq`, as ONE buffered write (a batch is one
+  /// syscall), then fsyncs when `sync` is set. The fault hook — when
+  /// armed — fires kWalBeforeAppend before any byte and kWalMidAppend
+  /// after half the buffer.
+  ///
+  /// Any failure POISONS the writer: every later Append refuses with
+  /// FailedPrecondition. After a failed append the file may end in a
+  /// torn frame (and the in-flight sequence numbers may or may not be
+  /// durable), so appending more frames would put acknowledged records
+  /// behind garbage — where recovery's prefix scan can never see them —
+  /// or reuse sequence numbers. Only a fresh Open (recovery truncated
+  /// the tail) may write again.
+  Status Append(const std::vector<std::string>& payloads,
+                std::uint64_t first_seq, bool sync, const FaultHook& hook,
+                std::size_t shard);
+
+  /// Truncates the log to zero length (after a checkpoint).
+  Status Truncate();
+
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  bool poisoned_ = false;
+  std::string path_;
+};
+
+/// Reads every valid frame of a WAL file. A missing file is an empty log.
+/// Stops at the first torn/corrupt frame and reports the valid prefix —
+/// record-level atomicity: a partial append is never surfaced as an op.
+StatusOr<WalContents> ReadWal(const std::string& path);
+
+/// Advisory exclusive lock on a persistence directory (flock on a LOCK
+/// file), held for the owning service's lifetime: two live services
+/// appending to the same WALs would interleave sequence numbers and make
+/// the directory unrecoverable, so the second Open must be refused.
+class DirectoryLock {
+ public:
+  DirectoryLock() = default;
+  ~DirectoryLock();
+  DirectoryLock(const DirectoryLock&) = delete;
+  DirectoryLock& operator=(const DirectoryLock&) = delete;
+
+  /// FailedPrecondition when another live process (or service instance)
+  /// holds the directory.
+  Status Acquire(const std::string& directory);
+  void Release();
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+// --------------------------------------------------------------- ops --
+// WAL payloads are single-line text ops, reusing the engine-state
+// serialization idioms (ids, %.17g doubles, percent-escaped names):
+//   outcome <trustor> <trustee> <task> <success> <gain> <damage> <cost>
+//           <abusive> <n_intermediates> <intermediate>...
+//   task <name> <n_characteristics> <characteristic>...
+//   theta <trustee> <task|*> <value>
+//   env <agent> <indicator>
+
+std::string EncodeOutcomeOp(trust::AgentId trustor, trust::AgentId trustee,
+                            trust::TaskId task,
+                            const trust::DelegationOutcome& outcome,
+                            bool trustor_was_abusive,
+                            const std::vector<trust::AgentId>& intermediates);
+std::string EncodeTaskOp(
+    const std::string& name,
+    const std::vector<trust::CharacteristicId>& characteristics);
+std::string EncodeThetaOp(trust::AgentId trustee, trust::TaskId task,
+                          double theta);
+std::string EncodeEnvOp(trust::AgentId agent, double indicator);
+
+/// Validates and applies one op to `engine`. Replay-safe: every argument
+/// is checked against the engine's current state (task registered,
+/// indicator in range, no sentinel agents) and a violation returns
+/// Corruption — a corrupt log must never trip an engine SIOT_CHECK.
+Status ApplyWalOp(std::string_view payload, trust::TrustEngine* engine);
+
+// ------------------------------------------------------ shard persister --
+
+/// Checkpoint + WAL lifecycle of ONE shard. Not thread-safe; the owning
+/// shard's exclusive lock (or single-threaded recovery) serializes use.
+class ShardPersistence {
+ public:
+  /// `options` must outlive this object (the service owns both).
+  ShardPersistence(const PersistenceOptions* options, std::size_t shard);
+
+  /// Restores `engine` from checkpoint + WAL tail (both optional: a fresh
+  /// directory recovers to the empty state), truncates any torn WAL tail,
+  /// and leaves the writer positioned for appends. `engine` must be
+  /// freshly constructed with the service's engine config.
+  Status Recover(trust::TrustEngine* engine);
+
+  /// Durably appends ops (one frame batch), assigning sequence numbers.
+  /// On success the ops may be acknowledged once applied; on error the
+  /// service must treat the shard as crashed.
+  Status Log(const std::vector<std::string>& payloads);
+
+  /// Serializes `engine` to the checkpoint file (atomic replace) and
+  /// truncates the WAL. Safe against a crash at any point (see file
+  /// comment).
+  Status Checkpoint(const trust::TrustEngine& engine);
+
+  /// WAL appends since the last successful checkpoint (or recovery).
+  std::uint64_t appends_since_checkpoint() const {
+    return appends_since_checkpoint_;
+  }
+
+  const std::string& wal_path() const { return wal_path_; }
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+
+ private:
+  const PersistenceOptions* options_;
+  std::size_t shard_;
+  std::string wal_path_;
+  std::string checkpoint_path_;
+  WalWriter writer_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t appends_since_checkpoint_ = 0;
+};
+
+/// Paths of a shard's files under `directory`.
+std::string ShardWalPath(const std::string& directory, std::size_t shard);
+std::string ShardCheckpointPath(const std::string& directory,
+                                std::size_t shard);
+std::string ManifestPath(const std::string& directory);
+
+}  // namespace siot::service
+
+#endif  // SIOT_SERVICE_PERSISTENCE_H_

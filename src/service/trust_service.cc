@@ -3,8 +3,13 @@
 #include "service/trust_service.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
 
+#include "common/file_util.h"
+#include "common/logging.h"
 #include "common/macros.h"
+#include "common/string_util.h"
 
 namespace siot::service {
 
@@ -14,6 +19,216 @@ TrustService::TrustService(TrustServiceConfig config) {
   for (std::size_t s = 0; s < shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>(config.engine));
   }
+}
+
+TrustService::~TrustService() { StopCheckpointThread(); }
+
+// ----------------------------------------------------------- durability --
+
+namespace {
+
+/// The manifest pins everything recovery correctness depends on: the
+/// shard count (ShardOf must route every trustor to the shard whose WAL
+/// holds its history) and the engine configuration (WAL replay re-runs
+/// the update equations; different β or environment handling would
+/// silently diverge from the pre-restart state).
+std::string BuildManifest(std::size_t shard_count,
+                          const TrustServiceConfig& config) {
+  const trust::TrustEngineConfig& e = config.engine;
+  std::string out = "siot-manifest 1\n";
+  out += StrFormat("shards %zu\n", shard_count);
+  out += StrFormat("normalization %d\n", static_cast<int>(e.normalization));
+  out += StrFormat("value_bound %.17g\n", e.value_bound);
+  out += StrFormat("beta %.17g %.17g %.17g %.17g\n", e.beta.success_rate,
+                   e.beta.gain, e.beta.damage, e.beta.cost);
+  out += StrFormat("strategy %d\n", static_cast<int>(e.strategy));
+  out += StrFormat("default_theta %.17g\n", e.default_theta);
+  out += StrFormat("initial_estimates %.17g %.17g %.17g %.17g\n",
+                   e.initial_estimates.success_rate, e.initial_estimates.gain,
+                   e.initial_estimates.damage, e.initial_estimates.cost);
+  out += StrFormat("environment_aware %d\n", e.environment_aware ? 1 : 0);
+  out += StrFormat("environment_aggregation %d\n",
+                   static_cast<int>(e.environment_aggregation));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TrustService>> TrustService::Open(
+    const TrustServiceConfig& config, const PersistenceOptions& options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("persistence directory is empty");
+  }
+  SIOT_RETURN_IF_ERROR(CreateDirectories(options.directory));
+  std::unique_ptr<TrustService> service(new TrustService(config));
+  // One live service per directory: concurrent appenders would
+  // interleave WAL sequence numbers and wreck recovery.
+  SIOT_RETURN_IF_ERROR(
+      service->directory_lock_.Acquire(options.directory));
+  service->persistence_ = options;
+  const std::string manifest =
+      BuildManifest(service->shards_.size(), config);
+  const std::string manifest_path = ManifestPath(options.directory);
+  if (FileExists(manifest_path)) {
+    SIOT_ASSIGN_OR_RETURN(const std::string existing,
+                          ReadFileToString(manifest_path));
+    if (existing != manifest) {
+      return Status::InvalidArgument(
+          "persistence directory " + options.directory +
+          " was created under a different service configuration "
+          "(shard count or engine config changed); refusing to recover");
+    }
+  } else {
+    SIOT_RETURN_IF_ERROR(WriteFileAtomic(manifest_path, manifest));
+  }
+  for (std::size_t s = 0; s < service->shards_.size(); ++s) {
+    Shard& shard = *service->shards_[s];
+    shard.persist =
+        std::make_unique<ShardPersistence>(&service->persistence_, s);
+    SIOT_RETURN_IF_ERROR(shard.persist->Recover(&shard.engine));
+  }
+  SIOT_RETURN_IF_ERROR(service->ReconcileAdminState());
+  service->task_count_.store(
+      static_cast<trust::TaskId>(
+          service->shards_[0]->engine.catalog().size()),
+      std::memory_order_release);
+  if (options.checkpoint_period.count() > 0) {
+    service->StartCheckpointThread();
+  }
+  return service;
+}
+
+Status TrustService::ReconcileAdminState() {
+  const trust::TrustEngine& authority = shards_[0]->engine;
+  const auto authority_thresholds =
+      authority.reverse_evaluator().AllThresholds();
+  const auto authority_env = authority.environment().AllIndicators();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (shard.engine.catalog().size() > authority.catalog().size()) {
+      return Status::Corruption(StrFormat(
+          "shard %zu recovered %zu catalog tasks but shard 0 has %zu — "
+          "admin replication always reaches shard 0 first",
+          s, shard.engine.catalog().size(), authority.catalog().size()));
+    }
+    std::vector<std::string> ops;
+    for (auto id = static_cast<trust::TaskId>(shard.engine.catalog().size());
+         id < authority.catalog().size(); ++id) {
+      const trust::Task& task = authority.catalog().Get(id);
+      std::vector<trust::CharacteristicId> characteristics;
+      characteristics.reserve(task.parts().size());
+      for (const trust::WeightedCharacteristic& part : task.parts()) {
+        characteristics.push_back(part.id);
+      }
+      ops.push_back(EncodeTaskOp(task.name(), characteristics));
+    }
+    const auto pack = [](trust::AgentId a, trust::TaskId t) {
+      return (static_cast<std::uint64_t>(a) << 32) | t;
+    };
+    std::unordered_map<std::uint64_t, double> have;
+    for (const trust::ThresholdEntry& entry :
+         shard.engine.reverse_evaluator().AllThresholds()) {
+      have.emplace(pack(entry.trustee, entry.task), entry.theta);
+    }
+    for (const trust::ThresholdEntry& entry : authority_thresholds) {
+      const auto it = have.find(pack(entry.trustee, entry.task));
+      if (it == have.end() || it->second != entry.theta) {
+        ops.push_back(
+            EncodeThetaOp(entry.trustee, entry.task, entry.theta));
+      }
+    }
+    std::unordered_map<trust::AgentId, double> have_env;
+    for (const auto& [agent, indicator] :
+         shard.engine.environment().AllIndicators()) {
+      have_env.emplace(agent, indicator);
+    }
+    for (const auto& [agent, indicator] : authority_env) {
+      const auto it = have_env.find(agent);
+      if (it == have_env.end() || it->second != indicator) {
+        ops.push_back(EncodeEnvOp(agent, indicator));
+      }
+    }
+    if (ops.empty()) continue;
+    SIOT_RETURN_IF_ERROR(shard.persist->Log(ops));
+    for (const std::string& op : ops) {
+      SIOT_RETURN_IF_ERROR(ApplyWalOp(op, &shard.engine));
+    }
+  }
+  return Status::OK();
+}
+
+Status TrustService::Checkpoint() {
+  if (!persistent()) {
+    return Status::FailedPrecondition(
+        "service was not opened with persistence");
+  }
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    SIOT_RETURN_IF_ERROR(CheckpointShardLocked(shard));
+  }
+  return Status::OK();
+}
+
+Status TrustService::CheckpointShardLocked(Shard& shard) {
+  return shard.persist->Checkpoint(shard.engine);
+}
+
+void TrustService::MaybeAutoCheckpointLocked(Shard& shard) {
+  if (!shard.persist || persistence_.checkpoint_every_appends == 0 ||
+      shard.persist->appends_since_checkpoint() <
+          persistence_.checkpoint_every_appends) {
+    return;
+  }
+  // The triggering writes are already durable in the WAL and applied, so
+  // a failed checkpoint degrades recovery time, not correctness.
+  const Status status = CheckpointShardLocked(shard);
+  if (!status.ok()) {
+    SIOT_LOG_WARN("auto checkpoint failed: %s",
+                  status.ToString().c_str());
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    if (background_status_.ok()) background_status_ = status;
+  }
+}
+
+Status TrustService::background_status() const {
+  std::lock_guard<std::mutex> lock(background_mutex_);
+  return background_status_;
+}
+
+void TrustService::StartCheckpointThread() {
+  checkpoint_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(background_mutex_);
+    while (!stopping_) {
+      if (background_cv_.wait_for(lock, persistence_.checkpoint_period,
+                                  [this] { return stopping_; })) {
+        break;
+      }
+      lock.unlock();
+      for (const auto& shard_ptr : shards_) {
+        Shard& shard = *shard_ptr;
+        std::unique_lock<std::shared_mutex> shard_lock(shard.mutex);
+        if (shard.persist->appends_since_checkpoint() == 0) continue;
+        const Status status = CheckpointShardLocked(shard);
+        if (!status.ok()) {
+          SIOT_LOG_WARN("periodic checkpoint failed: %s",
+                        status.ToString().c_str());
+          std::lock_guard<std::mutex> g(background_mutex_);
+          if (background_status_.ok()) background_status_ = status;
+        }
+      }
+      lock.lock();
+    }
+  });
+}
+
+void TrustService::StopCheckpointThread() {
+  {
+    std::lock_guard<std::mutex> lock(background_mutex_);
+    stopping_ = true;
+  }
+  background_cv_.notify_all();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
 }
 
 std::size_t TrustService::ShardOf(trust::AgentId trustor) const {
@@ -30,24 +245,60 @@ std::size_t TrustService::ShardOf(trust::AgentId trustor) const {
 StatusOr<trust::TaskId> TrustService::RegisterTask(
     const std::string& name,
     const std::vector<trust::CharacteristicId>& characteristics) {
+  SIOT_RETURN_IF_ERROR(CheckNotDegraded());
   std::lock_guard<std::mutex> admin(admin_mutex_);
-  // Probe the first shard; only on success touch the rest, so a rejected
-  // registration (duplicate name, bad characteristics) leaves every
-  // catalog unchanged and the replicas stay identical.
-  trust::TaskId id = trust::kNoTask;
+  // Validate up front so a rejected registration (duplicate name, bad
+  // characteristics) leaves every catalog unchanged, the replicas stay
+  // identical, and — in durable mode — nothing reaches a WAL. Once
+  // validation passes, every per-shard AddUniform must succeed.
   {
-    std::unique_lock<std::shared_mutex> lock(shards_[0]->mutex);
-    SIOT_ASSIGN_OR_RETURN(
-        id, shards_[0]->engine.catalog().AddUniform(name, characteristics));
+    std::shared_lock<std::shared_mutex> lock(shards_[0]->mutex);
+    if (shards_[0]->engine.catalog().FindByName(name).ok()) {
+      return Status::AlreadyExists("task name '" + name +
+                                   "' already used");
+    }
   }
-  for (std::size_t s = 1; s < shards_.size(); ++s) {
-    std::unique_lock<std::shared_mutex> lock(shards_[s]->mutex);
+  {
+    const auto probe = trust::Task::CreateUniform(0, name, characteristics);
+    if (!probe.ok()) return probe.status();
+  }
+  trust::TaskId id = trust::kNoTask;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (shard.persist) {
+      SIOT_RETURN_IF_ERROR(LogOrDegrade(
+          shard.persist.get(), {EncodeTaskOp(name, characteristics)}));
+    }
     const auto replica =
-        shards_[s]->engine.catalog().AddUniform(name, characteristics);
-    SIOT_CHECK(replica.ok() && replica.value() == id);
+        shard.engine.catalog().AddUniform(name, characteristics);
+    SIOT_CHECK(replica.ok());
+    if (s == 0) {
+      id = replica.value();
+    } else {
+      SIOT_CHECK(replica.value() == id);
+    }
   }
   task_count_.store(id + 1, std::memory_order_release);
   return id;
+}
+
+Status TrustService::CheckNotDegraded() const {
+  if (degraded()) {
+    return Status::FailedPrecondition(
+        "a WAL append failed earlier; the service refuses further "
+        "mutations (replicas may be divergent) — restart to recover");
+  }
+  return Status::OK();
+}
+
+Status TrustService::LogOrDegrade(
+    ShardPersistence* persist, const std::vector<std::string>& payloads) {
+  Status logged = persist->Log(payloads);
+  if (!logged.ok()) {
+    degraded_.store(true, std::memory_order_release);
+  }
+  return logged;
 }
 
 Status TrustService::ValidateTask(trust::TaskId task) const {
@@ -83,31 +334,81 @@ Status ValidateDelegation(const DelegationServiceRequest& request) {
   return Status::OK();
 }
 
+/// A delegation relay chain is a handful of hops (the paper's §4.5 uses
+/// single intermediates); 1024 is far beyond any honest chain. The bound
+/// keeps one hostile report from minting a WAL record big enough to trip
+/// the writer's payload-size check — client data must never reach a
+/// SIOT_CHECK.
+constexpr std::size_t kMaxIntermediates = 1024;
+
 Status ValidateReport(const OutcomeReport& report) {
   SIOT_RETURN_IF_ERROR(ValidateAgent(report.trustor, "trustor"));
   // Catches clients echoing an unavailable/no_candidates result's trustee
   // straight back into the report.
-  return ValidateAgent(report.trustee, "trustee");
+  SIOT_RETURN_IF_ERROR(ValidateAgent(report.trustee, "trustee"));
+  if (report.intermediates.size() > kMaxIntermediates) {
+    return Status::InvalidArgument(
+        StrFormat("delegation chain of %zu intermediates exceeds the "
+                  "limit of %zu",
+                  report.intermediates.size(), kMaxIntermediates));
+  }
+  // A non-finite observation would poison the pair's estimates forever —
+  // and with persistence the NaN round-trips through every restart, so
+  // the boundary must keep it out of the model entirely.
+  for (const double value : {report.outcome.gain, report.outcome.damage,
+                             report.outcome.cost}) {
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument(
+          "outcome gain/damage/cost must be finite");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
-void TrustService::SetReverseThreshold(trust::AgentId trustee,
-                                       trust::TaskId task, double theta) {
-  std::lock_guard<std::mutex> admin(admin_mutex_);
-  for (const auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard->mutex);
-    shard->engine.reverse_evaluator().SetThreshold(trustee, task, theta);
+Status TrustService::SetReverseThreshold(trust::AgentId trustee,
+                                         trust::TaskId task, double theta) {
+  // A NaN threshold would poison reverse evaluations AND defeat the
+  // exact-equality compare recovery's admin reconciliation relies on
+  // (NaN != NaN would re-log the op on every restart).
+  if (std::isnan(theta)) {
+    return Status::InvalidArgument("reverse threshold is NaN");
   }
+  SIOT_RETURN_IF_ERROR(CheckNotDegraded());
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (shard.persist) {
+      SIOT_RETURN_IF_ERROR(LogOrDegrade(
+          shard.persist.get(), {EncodeThetaOp(trustee, task, theta)}));
+    }
+    shard.engine.reverse_evaluator().SetThreshold(trustee, task, theta);
+  }
+  return Status::OK();
 }
 
-void TrustService::SetEnvironmentIndicator(trust::AgentId agent,
-                                           double indicator) {
-  std::lock_guard<std::mutex> admin(admin_mutex_);
-  for (const auto& shard : shards_) {
-    std::unique_lock<std::shared_mutex> lock(shard->mutex);
-    shard->engine.environment().SetIndicator(agent, indicator);
+Status TrustService::SetEnvironmentIndicator(trust::AgentId agent,
+                                             double indicator) {
+  // The engine treats an out-of-range indicator as a programming error
+  // (SIOT_CHECK); the serving boundary rejects it as data instead.
+  if (!(indicator > 0.0 && indicator <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("environment indicator %g outside (0, 1]", indicator));
   }
+  SIOT_RETURN_IF_ERROR(CheckNotDegraded());
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (shard.persist) {
+      SIOT_RETURN_IF_ERROR(LogOrDegrade(
+          shard.persist.get(), {EncodeEnvOp(agent, indicator)}));
+    }
+    shard.engine.environment().SetIndicator(agent, indicator);
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------- data plane --
@@ -136,14 +437,26 @@ StatusOr<trust::DelegationRequestResult> TrustService::RequestDelegation(
 }
 
 Status TrustService::ReportOutcome(const OutcomeReport& report) {
+  SIOT_RETURN_IF_ERROR(CheckNotDegraded());
   SIOT_RETURN_IF_ERROR(ValidateTask(report.task));
   SIOT_RETURN_IF_ERROR(ValidateReport(report));
-  outcome_reports_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = *shards_[ShardOf(report.trustor)];
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  // Log before apply: an OK return means the write is durable AND
+  // applied; an error means it may be neither — the service degrades to
+  // read-only and a restart squares the ledger from the WAL.
+  if (shard.persist) {
+    SIOT_RETURN_IF_ERROR(LogOrDegrade(
+        shard.persist.get(),
+        {EncodeOutcomeOp(report.trustor, report.trustee, report.task,
+                         report.outcome, report.trustor_was_abusive,
+                         report.intermediates)}));
+  }
   shard.engine.ReportOutcome(report.trustor, report.trustee, report.task,
                              report.outcome, report.trustor_was_abusive,
                              report.intermediates);
+  outcome_reports_.fetch_add(1, std::memory_order_relaxed);
+  MaybeAutoCheckpointLocked(shard);
   return Status::OK();
 }
 
@@ -210,24 +523,47 @@ TrustService::BatchRequestDelegation(
 
 Status TrustService::BatchReportOutcome(
     std::span<const OutcomeReport> reports) {
+  SIOT_RETURN_IF_ERROR(CheckNotDegraded());
   for (const OutcomeReport& report : reports) {
     SIOT_RETURN_IF_ERROR(ValidateTask(report.task));
     SIOT_RETURN_IF_ERROR(ValidateReport(report));
   }
-  outcome_reports_.fetch_add(reports.size(), std::memory_order_relaxed);
+  Status failure;
   GroupByShard(
       reports.size(), [&](std::size_t i) { return reports[i].trustor; },
       [&](std::size_t s, const std::vector<std::size_t>& indices) {
+        if (!failure.ok()) return;  // A shard crashed; stop the batch.
         Shard& shard = *shards_[s];
         std::unique_lock<std::shared_mutex> lock(shard.mutex);
+        if (shard.persist) {
+          // One frame batch = one write (+ at most one fsync) per shard
+          // per batch; a torn tail drops whole trailing records, never
+          // half a record.
+          std::vector<std::string> ops;
+          ops.reserve(indices.size());
+          for (const std::size_t i : indices) {
+            const OutcomeReport& r = reports[i];
+            ops.push_back(EncodeOutcomeOp(r.trustor, r.trustee, r.task,
+                                          r.outcome, r.trustor_was_abusive,
+                                          r.intermediates));
+          }
+          if (Status logged = LogOrDegrade(shard.persist.get(), ops);
+              !logged.ok()) {
+            failure = std::move(logged);
+            return;
+          }
+        }
         for (const std::size_t i : indices) {
           const OutcomeReport& r = reports[i];
           shard.engine.ReportOutcome(r.trustor, r.trustee, r.task,
                                      r.outcome, r.trustor_was_abusive,
                                      r.intermediates);
         }
+        outcome_reports_.fetch_add(indices.size(),
+                                   std::memory_order_relaxed);
+        MaybeAutoCheckpointLocked(shard);
       });
-  return Status::OK();
+  return failure;
 }
 
 // --------------------------------------------------------- observation --

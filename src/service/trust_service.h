@@ -32,6 +32,7 @@
 #define SIOT_SERVICE_TRUST_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -39,9 +40,11 @@
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "service/persistence.h"
 #include "trust/trust_engine.h"
 #include "trust/types.h"
 
@@ -99,9 +102,53 @@ struct TrustServiceStats {
 class TrustService {
  public:
   explicit TrustService(TrustServiceConfig config = {});
+  ~TrustService();
+
+  // ------------------------------------------------------- durability --
+
+  /// Opens a DURABLE service over `options.directory`: every mutation is
+  /// written to a per-shard CRC-framed WAL before it is applied, periodic
+  /// checkpoints bound recovery time, and this call replays
+  /// checkpoint + WAL tail so the returned service resumes byte-identical
+  /// to the state at the last acknowledged write of the previous
+  /// incarnation. The directory is created on first use and carries a
+  /// manifest binding it to this shard count + engine config; reopening
+  /// under a different configuration is refused (records would land on
+  /// the wrong shards / replay would diverge). Corrupt files surface as
+  /// Status Corruption, never a crash. See service/persistence.h.
+  static StatusOr<std::unique_ptr<TrustService>> Open(
+      const TrustServiceConfig& config, const PersistenceOptions& options);
+
+  /// Checkpoints every shard now (serialize state, atomically replace the
+  /// checkpoint file, truncate the WAL). Concurrency-safe: each shard is
+  /// checkpointed under its exclusive lock, so data-plane traffic on
+  /// other shards proceeds. FailedPrecondition when the service was not
+  /// opened with persistence.
+  Status Checkpoint();
+
+  /// True when this service was created by Open (durable mode).
+  bool persistent() const { return shards_[0]->persist != nullptr; }
+
+  /// First error a background/periodic checkpoint hit, if any (writes
+  /// are still durable in the WAL when a checkpoint fails; this surfaces
+  /// the degradation for monitoring).
+  Status background_status() const;
+
+  /// True once a WAL append failed. A failed append can leave an admin
+  /// write partially replicated across shards, so the service fails all
+  /// further mutations (FailedPrecondition) instead of serving from
+  /// divergent replicas — restart to recover: WAL replay plus the
+  /// shard-0 reconciliation squares the ledger. Reads keep working.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
 
   // ----------------------------------------------------------- control --
-  // Rare, globally serialized; replicated to every shard.
+  // Rare, globally serialized; replicated to every shard (and, in durable
+  // mode, logged to every shard's WAL — each shard's checkpoint + WAL is
+  // self-contained). A crash can interrupt replication midway; recovery
+  // completes the partial admin write from shard 0's copy, which
+  // replication always reaches first.
 
   /// Registers a task type in every shard's catalog. Returns the task id,
   /// identical across shards (registration order is the id order).
@@ -111,11 +158,12 @@ class TrustService {
 
   /// Sets `trustee`'s reverse-evaluation threshold θ_y(τ)
   /// (task = kNoTask ⇒ all tasks).
-  void SetReverseThreshold(trust::AgentId trustee, trust::TaskId task,
-                           double theta);
+  Status SetReverseThreshold(trust::AgentId trustee, trust::TaskId task,
+                             double theta);
 
-  /// Sets `agent`'s instantaneous environment indicator (in (0, 1]).
-  void SetEnvironmentIndicator(trust::AgentId agent, double indicator);
+  /// Sets `agent`'s instantaneous environment indicator (in (0, 1]);
+  /// InvalidArgument outside that range.
+  Status SetEnvironmentIndicator(trust::AgentId agent, double indicator);
 
   // -------------------------------------------------------- data plane --
   // Unlike the engine underneath (where an unknown task id is a
@@ -167,6 +215,8 @@ class TrustService {
         : engine(config) {}
     mutable std::shared_mutex mutex;
     trust::TrustEngine engine;
+    /// Durable mode only; guarded by `mutex` held exclusively.
+    std::unique_ptr<ShardPersistence> persist;
   };
 
   /// Groups [0, count) by ShardOf(trustor-of-index) and runs `body(shard,
@@ -178,8 +228,44 @@ class TrustService {
   /// InvalidArgument unless `task` names a registered catalog entry.
   Status ValidateTask(trust::TaskId task) const;
 
+  /// FailedPrecondition once a WAL append has failed (see degraded()).
+  Status CheckNotDegraded() const;
+
+  /// Wraps a WAL append: a failure marks the service degraded.
+  Status LogOrDegrade(ShardPersistence* persist,
+                      const std::vector<std::string>& payloads);
+
+  /// Completes admin writes a crash left partially replicated: shard 0
+  /// (which replication reaches first) is authoritative; lagging shards
+  /// get the missing catalog entries / thresholds / indicators logged to
+  /// their WALs and applied. No-op after a clean shutdown.
+  Status ReconcileAdminState();
+
+  /// Checkpoints one shard; caller holds the shard's exclusive lock.
+  Status CheckpointShardLocked(Shard& shard);
+
+  /// Inline auto-checkpoint after data-plane appends (durable mode with
+  /// checkpoint_every_appends set); caller holds the exclusive lock. The
+  /// triggering write is already durable + applied, so a checkpoint
+  /// failure only logs + records background degradation.
+  void MaybeAutoCheckpointLocked(Shard& shard);
+
+  void StartCheckpointThread();
+  void StopCheckpointThread();
+
   std::vector<std::unique_ptr<Shard>> shards_;
   std::mutex admin_mutex_;
+  /// Durable mode configuration; ShardPersistence instances point at it.
+  PersistenceOptions persistence_;
+  /// Held for the service's lifetime in durable mode (one live service
+  /// per directory).
+  DirectoryLock directory_lock_;
+  std::thread checkpoint_thread_;
+  mutable std::mutex background_mutex_;
+  std::condition_variable background_cv_;
+  bool stopping_ = false;
+  Status background_status_;
+  std::atomic<bool> degraded_{false};
   /// Registered task count, readable without shard locks (RegisterTask
   /// publishes after full replication).
   std::atomic<trust::TaskId> task_count_{0};

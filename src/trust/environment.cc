@@ -68,6 +68,14 @@ double EnvironmentModel::Indicator(AgentId agent) const {
   return it == indicators_.end() ? default_indicator_ : it->second;
 }
 
+std::vector<std::pair<AgentId, double>> EnvironmentModel::AllIndicators()
+    const {
+  std::vector<std::pair<AgentId, double>> out(indicators_.begin(),
+                                              indicators_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 double EnvironmentModel::ChainIndicator(
     AgentId trustor, AgentId trustee,
     const std::vector<AgentId>& intermediates,

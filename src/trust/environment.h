@@ -14,6 +14,7 @@
 
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -56,6 +57,11 @@ class EnvironmentModel {
   /// Sets the default for unset agents (must be in (0, 1]).
   void SetDefaultIndicator(double indicator);
   double Indicator(AgentId agent) const;
+  double default_indicator() const { return default_indicator_; }
+
+  /// All explicitly set indicators sorted by agent id — canonical order
+  /// for serialization.
+  std::vector<std::pair<AgentId, double>> AllIndicators() const;
 
   /// Aggregate over trustor, trustee, and intermediates {E_i}, i ∈ I.
   double ChainIndicator(AgentId trustor, AgentId trustee,

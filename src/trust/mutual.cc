@@ -16,6 +16,11 @@ void ReverseEvaluator::RecordUsage(AgentId trustee, AgentId trustor,
   }
 }
 
+void ReverseEvaluator::RestoreHistory(AgentId trustee, AgentId trustor,
+                                      const UsageHistory& history) {
+  history_[PairKey{trustee, trustor}] = history;
+}
+
 const UsageHistory* ReverseEvaluator::FindHistory(AgentId trustee,
                                                   AgentId trustor) const {
   const auto it = history_.find(PairKey{trustee, trustor});
@@ -53,6 +58,34 @@ bool ReverseEvaluator::AcceptsDelegation(AgentId trustee, AgentId trustor,
                                          TaskId task) const {
   return ReverseTrustworthiness(trustee, trustor) >=
          Threshold(trustee, task);
+}
+
+std::vector<UsageEntry> ReverseEvaluator::AllHistories() const {
+  std::vector<UsageEntry> out;
+  out.reserve(history_.size());
+  for (const auto& [key, history] : history_) {
+    out.push_back({key.trustee, key.trustor, history});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UsageEntry& a, const UsageEntry& b) {
+              if (a.trustee != b.trustee) return a.trustee < b.trustee;
+              return a.trustor < b.trustor;
+            });
+  return out;
+}
+
+std::vector<ThresholdEntry> ReverseEvaluator::AllThresholds() const {
+  std::vector<ThresholdEntry> out;
+  out.reserve(thresholds_.size());
+  for (const auto& [key, theta] : thresholds_) {
+    out.push_back({key.trustee, key.task, theta});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThresholdEntry& a, const ThresholdEntry& b) {
+              if (a.trustee != b.trustee) return a.trustee < b.trustee;
+              return a.task < b.task;
+            });
+  return out;
 }
 
 MutualSelection SelectTrusteeMutually(

@@ -30,6 +30,21 @@ struct UsageHistory {
   std::size_t total() const { return responsive_uses + abusive_uses; }
 };
 
+/// One (trustee, trustor) usage history, exported for serialization.
+struct UsageEntry {
+  AgentId trustee = kNoAgent;
+  AgentId trustor = kNoAgent;
+  UsageHistory history;
+};
+
+/// One explicit threshold setting θ_y(τ), exported for serialization
+/// (task == kNoTask is the trustee's all-task threshold).
+struct ThresholdEntry {
+  AgentId trustee = kNoAgent;
+  TaskId task = kNoTask;
+  double theta = 0.0;
+};
+
 /// Reverse-evaluation ledger: what each trustee has recorded about each
 /// trustor's use of its resources, and per-trustee acceptance thresholds.
 class ReverseEvaluator {
@@ -40,6 +55,11 @@ class ReverseEvaluator {
 
   /// Records one use of `trustee`'s resources by `trustor`.
   void RecordUsage(AgentId trustee, AgentId trustor, bool abusive);
+
+  /// Overwrites (or creates) a pair's whole usage history in one step —
+  /// deserialization restores accumulated counts without replaying them.
+  void RestoreHistory(AgentId trustee, AgentId trustor,
+                      const UsageHistory& history);
 
   const UsageHistory* FindHistory(AgentId trustee, AgentId trustor) const;
 
@@ -58,6 +78,14 @@ class ReverseEvaluator {
 
   /// Eq. 1 constraint: ~TW_y←X(τ) >= θ_y(τ).
   bool AcceptsDelegation(AgentId trustee, AgentId trustor, TaskId task) const;
+
+  /// All usage histories sorted by (trustee, trustor) — canonical order
+  /// for serialization.
+  std::vector<UsageEntry> AllHistories() const;
+
+  /// All explicit thresholds sorted by (trustee, task) — canonical order
+  /// for serialization.
+  std::vector<ThresholdEntry> AllThresholds() const;
 
  private:
   struct PairKey {

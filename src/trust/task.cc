@@ -11,6 +11,17 @@ namespace siot::trust {
 
 StatusOr<Task> Task::Create(TaskId id, std::string name,
                             std::vector<WeightedCharacteristic> parts) {
+  return Build(id, std::move(name), std::move(parts), /*normalize=*/true);
+}
+
+StatusOr<Task> Task::Restore(TaskId id, std::string name,
+                             std::vector<WeightedCharacteristic> parts) {
+  return Build(id, std::move(name), std::move(parts), /*normalize=*/false);
+}
+
+StatusOr<Task> Task::Build(TaskId id, std::string name,
+                           std::vector<WeightedCharacteristic> parts,
+                           bool normalize) {
   if (parts.empty()) {
     return Status::InvalidArgument("task '" + name +
                                    "' has no characteristics");
@@ -37,7 +48,9 @@ StatusOr<Task> Task::Create(TaskId id, std::string name,
     mask |= 1ull << part.id;
     total_weight += part.weight;
   }
-  for (auto& part : parts) part.weight /= total_weight;
+  if (normalize) {
+    for (auto& part : parts) part.weight /= total_weight;
+  }
 
   Task task;
   task.id_ = id;
@@ -73,6 +86,20 @@ StatusOr<TaskId> TaskCatalog::Add(std::string name,
   const auto id = static_cast<TaskId>(tasks_.size());
   SIOT_ASSIGN_OR_RETURN(Task task,
                         Task::Create(id, std::move(name), std::move(parts)));
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+StatusOr<TaskId> TaskCatalog::Restore(
+    std::string name, std::vector<WeightedCharacteristic> parts) {
+  for (const Task& existing : tasks_) {
+    if (existing.name() == name) {
+      return Status::AlreadyExists("task name '" + name + "' already used");
+    }
+  }
+  const auto id = static_cast<TaskId>(tasks_.size());
+  SIOT_ASSIGN_OR_RETURN(
+      Task task, Task::Restore(id, std::move(name), std::move(parts)));
   tasks_.push_back(std::move(task));
   return id;
 }

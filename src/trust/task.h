@@ -38,6 +38,15 @@ class Task {
       TaskId id, std::string name,
       const std::vector<CharacteristicId>& characteristics);
 
+  /// Rebuilds a task from weights that are ALREADY normalized (a prior
+  /// task's parts(), e.g. from a serialized checkpoint). Validates like
+  /// Create but skips the renormalization divide, so restoring a
+  /// serialized task reproduces its weights bit for bit — renormalizing
+  /// would perturb them whenever the stored weights do not sum to exactly
+  /// 1.0 in floating point (1/3 + 1/3 + 1/3 != 1.0).
+  static StatusOr<Task> Restore(TaskId id, std::string name,
+                                std::vector<WeightedCharacteristic> parts);
+
   TaskId id() const { return id_; }
   const std::string& name() const { return name_; }
   /// Normalized weighted characteristics, sorted by characteristic id.
@@ -63,6 +72,9 @@ class Task {
 
  private:
   Task() = default;
+  static StatusOr<Task> Build(TaskId id, std::string name,
+                              std::vector<WeightedCharacteristic> parts,
+                              bool normalize);
   TaskId id_ = kNoTask;
   std::string name_;
   std::vector<WeightedCharacteristic> parts_;
@@ -78,6 +90,11 @@ class TaskCatalog {
                        std::vector<WeightedCharacteristic> parts);
   StatusOr<TaskId> AddUniform(
       std::string name, const std::vector<CharacteristicId>& characteristics);
+
+  /// Adds a task whose weights are already normalized (Task::Restore);
+  /// used when deserializing a catalog.
+  StatusOr<TaskId> Restore(std::string name,
+                           std::vector<WeightedCharacteristic> parts);
 
   std::size_t size() const { return tasks_.size(); }
   const Task& Get(TaskId id) const;

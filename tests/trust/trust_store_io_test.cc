@@ -87,6 +87,35 @@ TEST(TrustStoreIoTest, MalformedInputRejected) {
           .IsInvalidArgument());
 }
 
+TEST(TrustStoreIoTest, CorruptionMessagePinpointsLineOffsetAndContent) {
+  // A bad record inside a multi-megabyte checkpoint must be findable:
+  // the message names the line, the byte offset of that line, and quotes
+  // the offending text.
+  const std::string good =
+      "record 1 2 3 0.5 0.5 0.5 0.5 1\n"
+      "record 4 5 6 0.5 0.5 0.5 0.5 2\n";
+  const std::string bad = "record 7 8 9 0.5 BROKEN 0.5 0.5 3";
+  TrustStore store;
+  const Status status = DeserializeTrustStore(good + bad + "\n", &store);
+  ASSERT_EQ(status.code(), StatusCode::kCorruption);
+  const std::string& message = status.message();
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("byte offset " + std::to_string(good.size())),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("'record 7 8 9 0.5 BROKEN 0.5 0.5 3'"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("BROKEN"), std::string::npos) << message;
+  // Long lines are quoted truncated, not dumped wholesale.
+  TrustStore store2;
+  const Status long_status = DeserializeTrustStore(
+      "record " + std::string(500, '9') + "\n", &store2);
+  ASSERT_EQ(long_status.code(), StatusCode::kCorruption);
+  EXPECT_LT(long_status.message().size(), 200u);
+  EXPECT_NE(long_status.message().find("..."), std::string::npos);
+}
+
 TEST(TrustStoreIoTest, SerializeDeserializeSerializeIsByteIdentical) {
   const TrustStore original = MakeStore(7, 60);
   const std::string first = SerializeTrustStore(original);

@@ -11,6 +11,7 @@
 //   siot_experiments experiment=delegation beta=0.8 iterations=5000
 //   siot_experiments experiment=environment runs=200
 //   siot_experiments experiment=serve shards=8 threads=4 rounds=2
+//   siot_experiments experiment=persist shards=4 rounds=3 fsync=1
 //   siot_experiments config=/path/to/file.cfg
 //
 // Prints the experiment's headline metrics as an aligned table and exits
@@ -20,6 +21,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +37,7 @@
 #include "sim/mutuality_experiment.h"
 #include "sim/parallel_runner.h"
 #include "sim/transitivity_experiment.h"
+#include "trust/trust_store_io.h"
 
 namespace siot {
 namespace {
@@ -335,6 +339,164 @@ Status RunServe(const Config& config) {
   return Status::OK();
 }
 
+// Persist mode: a durable TrustService is driven through `rounds`
+// rounds of delegation + outcome batches, with a full process-style
+// RESTART (close + recover from checkpoint + WAL) between rounds; an
+// in-memory reference service runs the identical workload without
+// restarts. After every recovery the per-shard engine states must match
+// the reference byte for byte — the restart literally may not change a
+// thing.
+Status RunPersist(const Config& config) {
+  const std::int64_t raw_shards = config.GetIntOr("shards", 4);
+  const std::int64_t raw_rounds = config.GetIntOr("rounds", 3);
+  const std::int64_t raw_agents = config.GetIntOr("agents", 48);
+  if (raw_shards < 1 || raw_shards > 4096) {
+    return Status::InvalidArgument("shards out of range [1, 4096]");
+  }
+  if (raw_rounds < 1 || raw_rounds > 100000) {
+    return Status::InvalidArgument("rounds out of range [1, 100000]");
+  }
+  if (raw_agents < 4 || raw_agents > 1000000) {
+    return Status::InvalidArgument("agents out of range [4, 1000000]");
+  }
+  const auto shards = static_cast<std::size_t>(raw_shards);
+  const auto rounds = static_cast<std::size_t>(raw_rounds);
+  const auto agents = static_cast<trust::AgentId>(raw_agents);
+  const auto seed =
+      static_cast<std::uint64_t>(config.GetIntOr("seed", 2026));
+  const bool user_dir = config.Has("dir");
+  const std::string dir = config.GetStringOr(
+      "dir", (std::filesystem::temp_directory_path() /
+              ("siot_persist_" + std::to_string(seed)))
+                 .string());
+  // The run needs a fresh directory (recovering pre-existing state would
+  // make the reference comparison meaningless), but never delete a
+  // user-named path on our own initiative: require an explicit wipe=1.
+  if (user_dir && std::filesystem::exists(dir) &&
+      !std::filesystem::is_empty(dir)) {
+    if (!config.GetBoolOr("wipe", false)) {
+      return Status::InvalidArgument(
+          "dir=" + dir +
+          " already exists and is not empty; pass wipe=1 to let the "
+          "persist experiment DELETE it and start fresh");
+    }
+    std::filesystem::remove_all(dir);
+  }
+  if (!user_dir) std::filesystem::remove_all(dir);
+
+  service::TrustServiceConfig sc;
+  sc.shard_count = shards;
+  sc.engine.beta = trust::ForgettingFactors::Uniform(0.2);
+  service::PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = config.GetBoolOr("fsync", false);
+  options.checkpoint_every_appends = static_cast<std::size_t>(
+      config.GetIntOr("checkpoint_every", 32));
+
+  // Reference: identical workload, no persistence, no restarts.
+  service::TrustService reference(sc);
+  SIOT_ASSIGN_OR_RETURN(const trust::TaskId task,
+                        reference.RegisterTask("sense", {0}));
+  {
+    SIOT_ASSIGN_OR_RETURN(auto service,
+                          service::TrustService::Open(sc, options));
+    SIOT_ASSIGN_OR_RETURN(const trust::TaskId replica,
+                          service->RegisterTask("sense", {0}));
+    SIOT_CHECK(replica == task);
+    for (trust::AgentId agent = 0; agent < agents; agent += 7) {
+      SIOT_RETURN_IF_ERROR(
+          service->SetReverseThreshold(agent, trust::kNoTask, 0.75));
+      reference.SetReverseThreshold(agent, trust::kNoTask, 0.75);
+    }
+  }
+
+  std::vector<Rng> streams;
+  std::vector<Rng> reference_streams;
+  for (trust::AgentId t = 0; t < agents; ++t) {
+    streams.push_back(sim::DeriveStream(seed, t));
+    reference_streams.push_back(sim::DeriveStream(seed, t));
+  }
+  const auto drive_round =
+      [&](service::TrustService* svc,
+          std::vector<Rng>& rngs) -> StatusOr<std::size_t> {
+    std::vector<service::DelegationServiceRequest> requests;
+    for (trust::AgentId t = 0; t < agents; ++t) {
+      service::DelegationServiceRequest request;
+      request.trustor = t;
+      request.task = task;
+      request.candidates = {(t + 1) % agents, (t + 2) % agents,
+                            (t + 3) % agents};
+      requests.push_back(std::move(request));
+    }
+    SIOT_ASSIGN_OR_RETURN(const auto results,
+                          svc->BatchRequestDelegation(requests));
+    std::vector<service::OutcomeReport> reports;
+    for (trust::AgentId t = 0; t < agents; ++t) {
+      Rng& rng = rngs[t];
+      service::OutcomeReport report;
+      report.trustor = t;
+      report.trustee = results[t].trustee != trust::kNoAgent
+                           ? results[t].trustee
+                           : requests[t].candidates.front();
+      report.task = task;
+      report.outcome.success = rng.Bernoulli(0.7);
+      report.outcome.gain = report.outcome.success ? 0.8 : 0.0;
+      report.outcome.damage = report.outcome.success ? 0.0 : 0.4;
+      report.outcome.cost = 0.1;
+      report.trustor_was_abusive = rng.Bernoulli(0.1);
+      reports.push_back(report);
+    }
+    SIOT_RETURN_IF_ERROR(svc->BatchReportOutcome(reports));
+    return 2 * requests.size();
+  };
+
+  TextTable table(StrFormat(
+      "Durable TrustService restart smoke (%zu shards, %zu agents, "
+      "fsync=%s)",
+      shards, static_cast<std::size_t>(agents),
+      options.sync_every_append ? "on" : "off"));
+  table.SetHeader(
+      {"round", "recover ms", "requests", "records", "state identical"});
+  bool all_identical = true;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Restart: every round recovers the service from disk anew.
+    const auto start = std::chrono::steady_clock::now();
+    SIOT_ASSIGN_OR_RETURN(auto service,
+                          service::TrustService::Open(sc, options));
+    const double recover_ms =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() *
+        1e3;
+    SIOT_ASSIGN_OR_RETURN(const std::size_t requests,
+                          drive_round(service.get(), streams));
+    SIOT_ASSIGN_OR_RETURN(const std::size_t reference_requests,
+                          drive_round(&reference, reference_streams));
+    SIOT_CHECK(requests == reference_requests);
+    bool identical = true;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (trust::SerializeTrustEngineState(service->shard_engine(s)) !=
+          trust::SerializeTrustEngineState(reference.shard_engine(s))) {
+        identical = false;
+      }
+    }
+    all_identical = all_identical && identical;
+    table.AddRow({StrFormat("%zu", round), FormatDouble(recover_ms, 2),
+                  StrFormat("%zu", requests),
+                  StrFormat("%zu", service->Stats().record_count),
+                  identical ? "yes" : "NO — BUG"});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  if (!config.Has("dir")) std::filesystem::remove_all(dir);
+  // Divergence must fail the process (and the smoke_persist CTest), not
+  // just print a sad table cell.
+  if (!all_identical) {
+    return Status::Internal(
+        "recovered state diverged from the in-memory reference");
+  }
+  return Status::OK();
+}
+
 Status Run(int argc, char** argv) {
   // Accept both bare key=value tokens and GNU-style --key=value flags
   // (e.g. --threads=4): leading dashes are stripped before parsing.
@@ -369,9 +531,10 @@ Status Run(int argc, char** argv) {
   if (experiment == "delegation") return RunDelegation(config);
   if (experiment == "environment") return RunEnvironment(config);
   if (experiment == "serve") return RunServe(config);
+  if (experiment == "persist") return RunPersist(config);
   return Status::InvalidArgument(
       "usage: siot_experiments experiment=<mutuality|transitivity|"
-      "delegation|environment|serve> [network=...] [seed=...] "
+      "delegation|environment|serve|persist> [network=...] [seed=...] "
       "[--threads=N] [key=value...] [config=<file>]");
 }
 
