@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/macros.h"
 #include "service/persistence.h"
 #include "service/trust_service.h"
@@ -118,7 +119,10 @@ void BuildState(const std::string& dir, std::size_t shards,
 
 /// Recovery wall time; args: records, shards, checkpointed.
 void BM_Recovery(benchmark::State& state) {
-  const auto records = static_cast<std::size_t>(state.range(0));
+  // Quick mode (CI bench-smoke) caps the store size: the trend line
+  // needs a comparable number per PR, not the full 100k-record build.
+  const auto records = siot::bench::QuickClamp(
+      static_cast<std::size_t>(state.range(0)), 2000);
   const auto shards = static_cast<std::size_t>(state.range(1));
   const bool checkpointed = state.range(2) != 0;
   const std::string dir =
@@ -139,7 +143,9 @@ void BM_Recovery(benchmark::State& state) {
   SIOT_CHECK(recovered_records == records);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(records));
-  state.SetLabel(checkpointed ? "from-checkpoint" : "wal-replay");
+  state.SetLabel(std::string(checkpointed ? "from-checkpoint"
+                                          : "wal-replay") +
+                 (siot::bench::QuickMode() ? " (quick-clamped)" : ""));
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_Recovery)

@@ -42,7 +42,9 @@ using trust::DelegationRequestResult;
 using trust::TaskId;
 
 constexpr std::uint64_t kSeed = 2026;
-constexpr std::size_t kRounds = 4;
+// Quick mode (CI bench-smoke) halves the rounds: the trend line wants a
+// comparable cheap number per PR, not the full reproduction.
+const std::size_t kRounds = bench::QuickMode() ? 2 : 4;
 constexpr std::size_t kShards = 16;
 
 // ------------------------------------------------------------ workload --
@@ -231,7 +233,10 @@ void PrintReproduction() {
   table.SetHeader(
       {"threads", "requests", "ms", "req/s", "identical to 1-thread"});
   RunOutcome serial;
-  for (const std::size_t threads : {1ul, 2ul, 8ul}) {
+  const std::vector<std::size_t> thread_counts =
+      bench::QuickMode() ? std::vector<std::size_t>{1, 2}
+                         : std::vector<std::size_t>{1, 2, 8};
+  for (const std::size_t threads : thread_counts) {
     const RunOutcome run = RunWorkload(threads);
     const bool identical =
         threads == 1 ||

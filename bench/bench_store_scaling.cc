@@ -226,7 +226,7 @@ void PrintReproduction() {
   // a ratio of per-query means of identical work.
   std::vector<trust::TransitivityResult> flat_results, pair_results,
       snapshot_results;
-  const std::size_t kQueries = 4;
+  const std::size_t kQueries = bench::QuickMode() ? 2 : 4;
   const double flat_ms =
       MillisPerQuery(flat_search, kQueries, &flat_results);
   const double pair_ms =
@@ -262,7 +262,10 @@ void PrintReproduction() {
   scaling.SetHeader({"threads", "ms", "speedup", "identical to serial"});
   sim::TransitivityResult serial;
   double serial_ms = 0.0;
-  for (const std::size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+  const std::vector<std::size_t> thread_counts =
+      bench::QuickMode() ? std::vector<std::size_t>{1, 2}
+                         : std::vector<std::size_t>{1, 2, 4, 8};
+  for (const std::size_t threads : thread_counts) {
     config.threads = threads;
     const auto start = std::chrono::steady_clock::now();
     const sim::TransitivityResult result =

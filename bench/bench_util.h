@@ -11,9 +11,26 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace siot::bench {
+
+/// True when SIOT_BENCH_QUICK is set (to anything but "0"): the CI
+/// bench-smoke mode. Benches shrink their workload sizes so the binary
+/// finishes in seconds while still exercising every code path and
+/// emitting the same JSON schema — per-PR trend tracking needs cheap,
+/// comparable numbers, not the full reproduction.
+inline bool QuickMode() {
+  const char* env = std::getenv("SIOT_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/// `full`, clamped to `quick` when QuickMode() is on.
+inline std::size_t QuickClamp(std::size_t full, std::size_t quick) {
+  return QuickMode() && quick < full ? quick : full;
+}
 
 /// Prints the bench banner: which paper artefact this binary regenerates.
 inline void PrintBanner(const char* artefact, const char* description) {

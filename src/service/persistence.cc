@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 
 #include "common/checksum.h"
 #include "common/file_util.h"
@@ -196,28 +197,74 @@ void WalWriter::Close() {
   }
 }
 
+WalFrameDecode DecodeWalFrame(std::string_view bytes, WalEntry* entry,
+                              std::size_t* frame_bytes,
+                              std::string* error) {
+  if (bytes.empty()) return WalFrameDecode::kEnd;
+  if (bytes.size() < kFrameHeaderBytes) return WalFrameDecode::kTorn;
+  const std::uint32_t len = GetU32(bytes.substr(0, 4));
+  const std::uint32_t stored_crc = GetU32(bytes.substr(4, 4));
+  if (len > kMaxPayloadBytes) {
+    // No append ever produces an oversized length field, and a torn
+    // write only shortens a frame — this can never become valid.
+    if (error) {
+      *error = StrFormat("frame length %u exceeds the %u-byte limit",
+                         len, kMaxPayloadBytes);
+    }
+    return WalFrameDecode::kCorrupt;
+  }
+  if (kFrameHeaderBytes + static_cast<std::size_t>(len) > bytes.size()) {
+    // The declared payload extends past the bytes on disk: a crash (or
+    // an append still landing) mid-write. The missing bytes may yet
+    // arrive, so this is the retryable kind.
+    return WalFrameDecode::kTorn;
+  }
+  const std::string_view checked = bytes.substr(8, 8 + len);
+  if (Crc32cMask(Crc32c(checked)) != stored_crc) {
+    // Every byte the header promised is present, so waiting cannot fix
+    // the mismatch: bit rot, or a reader at a stale offset.
+    if (error) {
+      *error = StrFormat("CRC mismatch on a complete %u-byte frame", len);
+    }
+    return WalFrameDecode::kCorrupt;
+  }
+  if (entry != nullptr) {
+    entry->seq = GetU64(bytes.substr(8, 8));
+    entry->payload = std::string(bytes.substr(kFrameHeaderBytes, len));
+  }
+  if (frame_bytes != nullptr) {
+    *frame_bytes = kFrameHeaderBytes + static_cast<std::size_t>(len);
+  }
+  return WalFrameDecode::kFrame;
+}
+
 StatusOr<WalContents> ReadWal(const std::string& path) {
   WalContents contents;
   if (!FileExists(path)) return contents;
   SIOT_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
   std::size_t offset = 0;
-  while (offset + kFrameHeaderBytes <= bytes.size()) {
-    const std::string_view frame(bytes.data() + offset,
-                                 bytes.size() - offset);
-    const std::uint32_t len = GetU32(frame.substr(0, 4));
-    const std::uint32_t stored_crc = GetU32(frame.substr(4, 4));
-    if (len > kMaxPayloadBytes ||
-        kFrameHeaderBytes + static_cast<std::size_t>(len) > frame.size()) {
-      // Torn tail (crash mid-append) or a corrupt length. Either way the
-      // frame was never fully on disk, so it was never acknowledged.
-      break;
+  for (;;) {
+    const std::string_view rest(bytes.data() + offset,
+                                bytes.size() - offset);
+    WalEntry entry;
+    std::size_t frame_bytes = 0;
+    std::string error;
+    const WalFrameDecode decoded =
+        DecodeWalFrame(rest, &entry, &frame_bytes, &error);
+    if (decoded == WalFrameDecode::kFrame) {
+      contents.entries.push_back(std::move(entry));
+      offset += frame_bytes;
+      continue;
     }
-    const std::string_view checked = frame.substr(8, 8 + len);
-    if (Crc32cMask(Crc32c(checked)) != stored_crc) break;
-    contents.entries.push_back(
-        {GetU64(frame.substr(8, 8)),
-         std::string(frame.substr(kFrameHeaderBytes, len))});
-    offset += kFrameHeaderBytes + len;
+    if (decoded == WalFrameDecode::kTorn) {
+      contents.tail = WalTailKind::kTorn;
+    } else if (decoded == WalFrameDecode::kCorrupt) {
+      contents.tail = WalTailKind::kCorrupt;
+      contents.tail_error =
+          StrFormat("%s at byte %zu of %s", error.c_str(), offset,
+                    path.c_str());
+    }
+    break;
   }
   contents.valid_bytes = offset;
   contents.dropped_bytes = bytes.size() - offset;
@@ -228,6 +275,23 @@ StatusOr<WalContents> ReadWal(const std::string& path) {
 // ------------------------------------------------------ DirectoryLock --
 
 DirectoryLock::~DirectoryLock() { Release(); }
+
+DirectoryLock::DirectoryLock(DirectoryLock&& other) noexcept
+    : fd_(other.fd_), directory_(std::move(other.directory_)) {
+  other.fd_ = -1;
+  other.directory_.clear();
+}
+
+DirectoryLock& DirectoryLock::operator=(DirectoryLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = other.fd_;
+    directory_ = std::move(other.directory_);
+    other.fd_ = -1;
+    other.directory_.clear();
+  }
+  return *this;
+}
 
 Status DirectoryLock::Acquire(const std::string& directory) {
   Release();
@@ -248,6 +312,7 @@ Status DirectoryLock::Acquire(const std::string& directory) {
                            std::strerror(flock_errno));
   }
   fd_ = fd;
+  directory_ = directory;
   return Status::OK();
 }
 
@@ -257,6 +322,7 @@ void DirectoryLock::Release() {
     ::close(fd_);
     fd_ = -1;
   }
+  directory_.clear();
 }
 
 // ----------------------------------------------------------------- ops --
@@ -561,6 +627,15 @@ Status ParseCheckpoint(const std::string& path, const std::string& bytes,
 
 }  // namespace
 
+Status ReadCheckpointFile(const std::string& path,
+                          std::uint64_t* applied_seq, std::string* state) {
+  SIOT_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  std::string_view body;
+  SIOT_RETURN_IF_ERROR(ParseCheckpoint(path, bytes, applied_seq, &body));
+  if (state != nullptr) *state = std::string(body);
+  return Status::OK();
+}
+
 Status ShardPersistence::Recover(trust::TrustEngine* engine) {
   // A .tmp checkpoint is a crash artifact of an unfinished Checkpoint();
   // the durable .ckpt (if any) is authoritative.
@@ -576,18 +651,22 @@ Status ShardPersistence::Recover(trust::TrustEngine* engine) {
   }
   SIOT_ASSIGN_OR_RETURN(const WalContents wal, ReadWal(wal_path_));
   if (wal.dropped_tail) {
-    // One torn record is the expected artifact of a crash mid-append
-    // (the write was never acknowledged). Anything bigger means
-    // mid-file corruption cut off records that WERE acknowledged —
-    // recovery still proceeds with the consistent prefix, but the
-    // operator must hear about it.
+    // A torn tail is the expected artifact of a crash mid-append (the
+    // write was never acknowledged). A corrupt tail — a full-length
+    // frame with a bad CRC or length — means bit rot may have cut off
+    // records that WERE acknowledged; recovery still proceeds with the
+    // consistent prefix, but the operator must hear the difference.
     SIOT_LOG_WARN(
         "WAL %s: dropping %llu trailing bytes past the last valid frame "
-        "(%zu records recovered) — expected after a crash mid-append; "
-        "a large drop means mid-file corruption cut acknowledged writes",
+        "(%zu records recovered) — %s",
         wal_path_.c_str(),
         static_cast<unsigned long long>(wal.dropped_bytes),
-        wal.entries.size());
+        wal.entries.size(),
+        wal.tail == WalTailKind::kTorn
+            ? "torn tail, expected after a crash mid-append"
+            : ("corrupt frame, possibly cutting acknowledged writes: " +
+               wal.tail_error)
+                  .c_str());
   }
   std::uint64_t last_seq = applied_seq;
   appends_since_checkpoint_ = 0;
@@ -607,6 +686,7 @@ Status ShardPersistence::Recover(trust::TrustEngine* engine) {
     ++appends_since_checkpoint_;
   }
   next_seq_ = last_seq + 1;
+  wal_bytes_ = wal.valid_bytes;
   return writer_.Open(wal_path_, wal.valid_bytes);
 }
 
@@ -620,6 +700,9 @@ Status ShardPersistence::Log(const std::vector<std::string>& payloads) {
   // internally consistent.
   next_seq_ += payloads.size();
   appends_since_checkpoint_ += payloads.size();
+  for (const std::string& payload : payloads) {
+    wal_bytes_ += kFrameHeaderBytes + payload.size();
+  }
   return Fire(options_->fault_hook, PersistStage::kWalAfterAppend,
               shard_);
 }
@@ -663,6 +746,7 @@ Status ShardPersistence::Checkpoint(const trust::TrustEngine& engine) {
       Fire(hook, PersistStage::kCheckpointBeforeTruncate, shard_));
   SIOT_RETURN_IF_ERROR(writer_.Truncate());
   appends_since_checkpoint_ = 0;
+  wal_bytes_ = 0;
   return Status::OK();
 }
 

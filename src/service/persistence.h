@@ -97,6 +97,20 @@ struct WalEntry {
   std::string payload;
 };
 
+/// Why a WAL scan stopped. A recovering LEADER can treat both non-clean
+/// kinds the same (truncate to the valid prefix — nothing past it was
+/// acknowledged), but a tailing FOLLOWER must not: an incomplete frame is
+/// the expected transient of an append still landing (wait and re-read),
+/// while a complete-but-invalid frame can never become valid by waiting
+/// (halt, or re-check the checkpoint for a truncation race).
+enum class WalTailKind {
+  kClean,  ///< The file ends exactly at a frame boundary.
+  kTorn,   ///< The last frame's bytes stop before its declared length —
+           ///< a crash (or in-flight append) mid-write. Retryable.
+  kCorrupt,  ///< A full-length frame is present but its length field or
+             ///< CRC is invalid — bit rot or a stale read offset. Final.
+};
+
 /// Result of scanning a WAL file.
 struct WalContents {
   std::vector<WalEntry> entries;
@@ -109,7 +123,21 @@ struct WalContents {
   std::uint64_t dropped_bytes = 0;
   /// True when trailing bytes past `valid_bytes` were dropped.
   bool dropped_tail = false;
+  /// What stopped the scan (kClean when nothing did).
+  WalTailKind tail = WalTailKind::kClean;
+  /// For kCorrupt: what was wrong with the frame at `valid_bytes`.
+  std::string tail_error;
 };
+
+/// Decodes the frame at the head of `bytes`. Returns the tail kind seen
+/// at this position: kClean when `bytes` is empty, kTorn/kCorrupt as
+/// above — only on kClean-with-a-frame does it fill `entry` and
+/// `frame_bytes` (header + payload size) and, on kCorrupt, `error`.
+/// The incremental decoder behind ReadWal and the replication tailer,
+/// exported so the two can never disagree about frame validity.
+enum class WalFrameDecode { kFrame, kEnd, kTorn, kCorrupt };
+WalFrameDecode DecodeWalFrame(std::string_view bytes, WalEntry* entry,
+                              std::size_t* frame_bytes, std::string* error);
 
 /// Append-only CRC-framed log writer. Frame layout (little-endian):
 ///   [u32 payload_len][u32 masked crc32c(seq + payload)][u64 seq][payload]
@@ -169,15 +197,25 @@ class DirectoryLock {
   ~DirectoryLock();
   DirectoryLock(const DirectoryLock&) = delete;
   DirectoryLock& operator=(const DirectoryLock&) = delete;
+  /// Movable so a fence acquired during failover (ReplicaService::Promote)
+  /// can be handed to the TrustService that comes up writable without a
+  /// release/re-acquire window another node could steal.
+  DirectoryLock(DirectoryLock&& other) noexcept;
+  DirectoryLock& operator=(DirectoryLock&& other) noexcept;
 
   /// FailedPrecondition when another live process (or service instance)
   /// holds the directory.
   Status Acquire(const std::string& directory);
   void Release();
   bool held() const { return fd_ >= 0; }
+  /// The directory Acquire locked (empty when not held) — so a fence
+  /// handed across a failover can be verified against the directory it
+  /// is supposed to protect.
+  const std::string& directory() const { return directory_; }
 
  private:
   int fd_ = -1;
+  std::string directory_;
 };
 
 // --------------------------------------------------------------- ops --
@@ -237,6 +275,16 @@ class ShardPersistence {
     return appends_since_checkpoint_;
   }
 
+  /// Sequence number of the last durably appended op (0 = none yet).
+  /// With the owning shard lock held, every frame up to this seq is fully
+  /// written to the WAL file and visible to a concurrent reader — the
+  /// replication position a follower synchronizes against.
+  std::uint64_t last_seq() const { return next_seq_ - 1; }
+
+  /// Current WAL file size in frame bytes (0 right after a checkpoint
+  /// truncated it); a follower's byte-lag baseline.
+  std::uint64_t wal_bytes() const { return wal_bytes_; }
+
   const std::string& wal_path() const { return wal_path_; }
   const std::string& checkpoint_path() const { return checkpoint_path_; }
 
@@ -248,7 +296,17 @@ class ShardPersistence {
   WalWriter writer_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t appends_since_checkpoint_ = 0;
+  std::uint64_t wal_bytes_ = 0;
 };
+
+/// Parses a checkpoint file (magic/CRC-validated) into the sequence
+/// number of the last WAL op folded in and the engine-state body.
+/// Shared by leader recovery and follower rewind handling; Corruption on
+/// any mismatch. Reads the file named by `path` — callers see either the
+/// old or the new checkpoint across a concurrent atomic replace, never a
+/// mix.
+Status ReadCheckpointFile(const std::string& path,
+                          std::uint64_t* applied_seq, std::string* state);
 
 /// Paths of a shard's files under `directory`.
 std::string ShardWalPath(const std::string& directory, std::size_t shard);

@@ -1,0 +1,612 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "service/replication.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <limits>
+#include <utility>
+
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "trust/trust_store_io.h"
+
+namespace siot::service {
+
+namespace {
+
+/// pread [offset, end) of `fd` into a string; a short result means the
+/// file shrank (or an append is mid-flight) — the caller's frame decode
+/// handles whatever prefix arrived.
+StatusOr<std::string> ReadRange(int fd, std::uint64_t offset,
+                                std::uint64_t end, const std::string& path) {
+  std::string bytes(static_cast<std::size_t>(end - offset), '\0');
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ::ssize_t n =
+        ::pread(fd, bytes.data() + got, bytes.size() - got,
+                static_cast<::off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("cannot read WAL", path));
+    }
+    if (n == 0) {
+      bytes.resize(got);
+      break;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return bytes;
+}
+
+Status ValidateAgent(trust::AgentId agent, const char* role) {
+  if (agent == trust::kNoAgent) {
+    return Status::InvalidArgument(std::string(role) +
+                                   " is the kNoAgent sentinel");
+  }
+  return Status::OK();
+}
+
+Status ReadOnly(const char* what) {
+  return Status::FailedPrecondition(
+      std::string("replica is read-only: ") + what +
+      " must go to the leader (or Promote() this follower first)");
+}
+
+}  // namespace
+
+ReplicaService::ReplicaService(const TrustServiceConfig& config,
+                               const ReplicaOptions& options)
+    : config_(config), options_(options) {
+  config_.shard_count = std::max<std::size_t>(config.shard_count, 1);
+  shards_.reserve(config_.shard_count);
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    auto shard = std::make_unique<ReplicaShard>();
+    shard->engine = std::make_unique<trust::TrustEngine>(config_.engine);
+    shard->wal_path = ShardWalPath(options_.directory, s);
+    shard->checkpoint_path = ShardCheckpointPath(options_.directory, s);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ReplicaService::~ReplicaService() {
+  StopPollThread();
+  for (const auto& shard : shards_) {
+    if (shard->fd >= 0) ::close(shard->fd);
+  }
+}
+
+StatusOr<std::unique_ptr<ReplicaService>> ReplicaService::Open(
+    const TrustServiceConfig& config, const ReplicaOptions& options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("replica directory is empty");
+  }
+  const std::string manifest_path = ManifestPath(options.directory);
+  if (!FileExists(manifest_path)) {
+    return Status::FailedPrecondition(
+        "directory " + options.directory +
+        " has no manifest — a replica follows a directory a leader "
+        "initialized; it never creates one");
+  }
+  std::unique_ptr<ReplicaService> replica(
+      new ReplicaService(config, options));
+  SIOT_ASSIGN_OR_RETURN(const std::string existing,
+                        ReadFileToString(manifest_path));
+  if (existing !=
+      BuildServiceManifest(replica->shards_.size(), replica->config_)) {
+    return Status::InvalidArgument(
+        "directory " + options.directory +
+        " was created under a different service configuration (shard "
+        "count or engine config); a replica replaying under it would "
+        "silently diverge");
+  }
+  // Restore the latest per-shard checkpoint, then catch up the WAL tails.
+  for (auto& shard_ptr : replica->shards_) {
+    ReplicaShard& shard = *shard_ptr;
+    if (!FileExists(shard.checkpoint_path)) continue;
+    SIOT_RETURN_IF_ERROR(replica->RewindLocked(
+        shard, /*require_newer=*/false, "initial checkpoint restore"));
+  }
+  if (const auto polled = replica->PollAll(); !polled.ok()) {
+    return polled.status();
+  }
+  if (options.poll_period.count() > 0) replica->StartPollThread();
+  return replica;
+}
+
+// -------------------------------------------------------------- tailing --
+
+Status ReplicaService::CheckServing() const {
+  if (promoted_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "this replica was promoted; its engines are frozen — use the "
+        "TrustService returned by Promote()");
+  }
+  return Status::OK();
+}
+
+bool ReplicaService::CheckpointReplacedLocked(
+    const ReplicaShard& shard) const {
+  struct ::stat st;
+  if (::stat(shard.checkpoint_path.c_str(), &st) != 0) return false;
+  if (!shard.checkpoint_loaded) return true;
+  return static_cast<std::uint64_t>(st.st_ino) != shard.checkpoint_ino ||
+         static_cast<std::uint64_t>(st.st_size) != shard.checkpoint_bytes;
+}
+
+Status ReplicaService::RewindLocked(ReplicaShard& shard, bool require_newer,
+                                    const std::string& why) {
+  if (!FileExists(shard.checkpoint_path)) {
+    return Status::Corruption(StrFormat(
+        "WAL %s: %s, and no checkpoint exists to explain it — only a "
+        "checkpoint truncation may rewind a WAL",
+        shard.wal_path.c_str(), why.c_str()));
+  }
+  // Record the file identity BEFORE reading: if yet another checkpoint
+  // replaces it mid-read we may load the newer bytes under the older
+  // identity, which only means one harmless re-rewind later.
+  struct ::stat st;
+  const bool have_stat = ::stat(shard.checkpoint_path.c_str(), &st) == 0;
+  std::uint64_t seq = 0;
+  std::string state;
+  SIOT_RETURN_IF_ERROR(
+      ReadCheckpointFile(shard.checkpoint_path, &seq, &state));
+  if (require_newer && shard.checkpoint_loaded &&
+      seq <= shard.checkpoint_seq) {
+    return Status::Corruption(StrFormat(
+        "WAL %s: %s, and the checkpoint did not advance (still at seq "
+        "%llu) — this is interior corruption, not a truncation race",
+        shard.wal_path.c_str(), why.c_str(),
+        static_cast<unsigned long long>(seq)));
+  }
+  if (seq < shard.applied_seq) {
+    return Status::Corruption(StrFormat(
+        "checkpoint %s rewound to seq %llu behind this follower's "
+        "applied seq %llu — the leader's history went backwards",
+        shard.checkpoint_path.c_str(),
+        static_cast<unsigned long long>(seq),
+        static_cast<unsigned long long>(shard.applied_seq)));
+  }
+  if (seq > shard.applied_seq) {
+    // The checkpoint is ahead of us: everything we applied (and more) is
+    // folded in. Jump the engine forward wholesale.
+    auto fresh = std::make_unique<trust::TrustEngine>(config_.engine);
+    SIOT_RETURN_IF_ERROR(
+        trust::DeserializeTrustEngineState(state, fresh.get()));
+    shard.engine = std::move(fresh);
+    shard.applied_seq = seq;
+  }
+  // seq == applied_seq keeps the engine: the replay path made our state
+  // byte-identical to what the leader checkpointed at this seq.
+  shard.checkpoint_seq = seq;
+  shard.checkpoint_loaded = true;
+  if (have_stat) {
+    shard.checkpoint_ino = static_cast<std::uint64_t>(st.st_ino);
+    shard.checkpoint_bytes = static_cast<std::uint64_t>(st.st_size);
+  }
+  shard.read_offset = 0;
+  shard.torn_pending = false;
+  return Status::OK();
+}
+
+StatusOr<std::size_t> ReplicaService::PollShardLocked(ReplicaShard& shard) {
+  const std::size_t limit = options_.max_frames_per_poll == 0
+                                ? std::numeric_limits<std::size_t>::max()
+                                : options_.max_frames_per_poll;
+  std::size_t applied = 0;
+  for (;;) {
+    if (shard.fd < 0) {
+      shard.fd = ::open(shard.wal_path.c_str(), O_RDONLY);
+      if (shard.fd < 0) {
+        if (errno == ENOENT) return applied;  // Leader not started yet.
+        return Status::IoError(
+            ErrnoMessage("cannot open WAL", shard.wal_path));
+      }
+    }
+    struct ::stat st;
+    if (::fstat(shard.fd, &st) != 0) {
+      return Status::IoError(ErrnoMessage("cannot stat WAL",
+                                          shard.wal_path));
+    }
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    shard.wal_bytes_seen = size;
+    if (size < shard.read_offset) {
+      // The WAL shrank under us: the leader checkpointed and truncated.
+      SIOT_RETURN_IF_ERROR(RewindLocked(
+          shard, /*require_newer=*/false,
+          StrFormat("file shrank from %llu to %llu bytes",
+                    static_cast<unsigned long long>(shard.read_offset),
+                    static_cast<unsigned long long>(size))));
+      continue;
+    }
+    if (size == shard.read_offset) {
+      // No new bytes — but state can advance through a checkpoint alone
+      // when the truncated WAL lands exactly back at our offset
+      // (typically both zero). The replaced checkpoint file is the
+      // tell; otherwise we are caught up.
+      if (CheckpointReplacedLocked(shard)) {
+        SIOT_RETURN_IF_ERROR(RewindLocked(
+            shard, /*require_newer=*/false,
+            "a new checkpoint replaced the loaded one with no new WAL "
+            "bytes"));
+        continue;
+      }
+      shard.torn_pending = false;
+      return applied;
+    }
+    SIOT_ASSIGN_OR_RETURN(
+        const std::string bytes,
+        ReadRange(shard.fd, shard.read_offset, size, shard.wal_path));
+    std::size_t offset = 0;
+    bool torn = false;
+    bool corrupt = false;
+    Status failure;
+    while (offset < bytes.size()) {
+      if (applied >= limit) break;
+      WalEntry entry;
+      std::size_t frame_bytes = 0;
+      std::string error;
+      const WalFrameDecode decoded = DecodeWalFrame(
+          std::string_view(bytes).substr(offset), &entry, &frame_bytes,
+          &error);
+      if (decoded == WalFrameDecode::kTorn) {
+        torn = true;
+        break;
+      }
+      if (decoded == WalFrameDecode::kCorrupt) {
+        corrupt = true;
+        failure = Status::Corruption(StrFormat(
+            "WAL %s: %s at byte %llu", shard.wal_path.c_str(),
+            error.c_str(),
+            static_cast<unsigned long long>(shard.read_offset + offset)));
+        break;
+      }
+      if (entry.seq <= shard.applied_seq) {
+        // Already folded in (re-scan after a rewind); skip, never
+        // re-apply.
+        offset += frame_bytes;
+        continue;
+      }
+      if (entry.seq != shard.applied_seq + 1) {
+        corrupt = true;
+        failure = Status::Corruption(StrFormat(
+            "WAL %s: sequence jumped from %llu to %llu at byte %llu",
+            shard.wal_path.c_str(),
+            static_cast<unsigned long long>(shard.applied_seq),
+            static_cast<unsigned long long>(entry.seq),
+            static_cast<unsigned long long>(shard.read_offset + offset)));
+        break;
+      }
+      // A CRC-valid frame with an invalid payload can never be a stale
+      // read (the CRC covers seq + payload) — apply errors are final.
+      SIOT_RETURN_IF_ERROR(ApplyWalOp(entry.payload, shard.engine.get()));
+      shard.applied_seq = entry.seq;
+      ++applied;
+      offset += frame_bytes;
+    }
+    shard.read_offset += offset;
+    shard.torn_pending = torn;
+    if (corrupt) {
+      // One legitimate explanation remains: the leader checkpointed and
+      // truncated between our fstat and pread, so these bytes came from
+      // a stale offset inside NEW frames. That is provable — a newer
+      // checkpoint must exist. Otherwise the corruption stands.
+      SIOT_RETURN_IF_ERROR(RewindLocked(shard, /*require_newer=*/true,
+                                        failure.message()));
+      continue;
+    }
+    if (torn && CheckpointReplacedLocked(shard)) {
+      // Stale-offset garbage after a truncation can also masquerade as
+      // a TORN frame (a plausible length field pointing past EOF).
+      // Waiting would stall forever if the leader went idle — but the
+      // replaced checkpoint proves a truncation happened, so rewind
+      // through it instead of waiting.
+      SIOT_RETURN_IF_ERROR(RewindLocked(
+          shard, /*require_newer=*/false,
+          "torn bytes at an offset predating a newer checkpoint"));
+      continue;
+    }
+    return applied;
+  }
+}
+
+StatusOr<std::size_t> ReplicaService::PollAll() {
+  SIOT_RETURN_IF_ERROR(CheckServing());
+  {
+    std::lock_guard<std::mutex> lock(poll_mutex_);
+    if (!tail_status_.ok()) return tail_status_;
+  }
+  std::size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    ReplicaShard& shard = *shard_ptr;
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    const auto polled = PollShardLocked(shard);
+    if (!polled.ok()) {
+      std::lock_guard<std::mutex> g(poll_mutex_);
+      if (tail_status_.ok()) tail_status_ = polled.status();
+      return polled.status();
+    }
+    total += polled.value();
+  }
+  return total;
+}
+
+Status ReplicaService::AwaitPositions(
+    std::span<const ShardWalPosition> targets,
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // With a background tailer we only watch its progress; without one,
+  // this call drives the polls itself.
+  const bool drive = options_.poll_period.count() == 0;
+  for (;;) {
+    if (drive) {
+      if (const auto polled = PollAll(); !polled.ok()) {
+        return polled.status();
+      }
+    } else if (Status tail = TailStatus(); !tail.ok()) {
+      return tail;
+    }
+    bool reached = true;
+    for (const ShardWalPosition& target : targets) {
+      if (target.shard >= shards_.size()) {
+        return Status::InvalidArgument(
+            StrFormat("target shard %zu out of range (%zu shards)",
+                      target.shard, shards_.size()));
+      }
+      const ReplicaShard& shard = *shards_[target.shard];
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      if (shard.applied_seq < target.last_seq) {
+        reached = false;
+        break;
+      }
+    }
+    if (reached) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable(StrFormat(
+          "follower did not reach the leader's WAL positions within "
+          "%lld ms",
+          static_cast<long long>(timeout.count())));
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(drive ? 200
+                                                                : 1000));
+  }
+}
+
+Status ReplicaService::TailStatus() const {
+  std::lock_guard<std::mutex> lock(poll_mutex_);
+  return tail_status_;
+}
+
+std::vector<ShardReplicationLag> ReplicaService::ReplicationLag() const {
+  std::vector<ShardReplicationLag> lags;
+  lags.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ReplicaShard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    ShardReplicationLag lag;
+    lag.shard = s;
+    lag.applied_seq = shard.applied_seq;
+    lag.visible_seq = shard.applied_seq;
+    lag.read_offset = shard.read_offset;
+    lag.torn_tail = shard.torn_pending;
+    struct ::stat st;
+    if (::stat(shard.wal_path.c_str(), &st) == 0) {
+      lag.wal_bytes = static_cast<std::uint64_t>(st.st_size);
+    }
+    if (lag.wal_bytes > lag.read_offset) {
+      lag.byte_lag = lag.wal_bytes - lag.read_offset;
+      // Decode (without applying) the unconsumed region to count the
+      // complete frames a poll would fold in right now. Advisory and
+      // O(lag bytes) — callers polling a deeply lagging follower should
+      // prefer byte_lag alone. Reuses the tailing descriptor (pread is
+      // position-less and the fd, once opened, never changes).
+      const int fd = shard.fd >= 0
+                         ? shard.fd
+                         : ::open(shard.wal_path.c_str(), O_RDONLY);
+      if (fd >= 0) {
+        const auto bytes =
+            ReadRange(fd, lag.read_offset, lag.wal_bytes, shard.wal_path);
+        if (fd != shard.fd) ::close(fd);
+        if (bytes.ok()) {
+          std::string_view rest(bytes.value());
+          WalEntry entry;
+          std::size_t frame_bytes = 0;
+          while (DecodeWalFrame(rest, &entry, &frame_bytes, nullptr) ==
+                 WalFrameDecode::kFrame) {
+            if (entry.seq > lag.visible_seq) lag.visible_seq = entry.seq;
+            rest = rest.substr(frame_bytes);
+          }
+        }
+      }
+      lag.seq_lag = lag.visible_seq - lag.applied_seq;
+    }
+    lags.push_back(lag);
+  }
+  return lags;
+}
+
+void ReplicaService::StartPollThread() {
+  poll_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(poll_mutex_);
+    while (!stopping_) {
+      if (poll_cv_.wait_for(lock, options_.poll_period,
+                            [this] { return stopping_; })) {
+        break;
+      }
+      lock.unlock();
+      const auto polled = PollAll();
+      lock.lock();
+      if (!polled.ok()) {
+        // PollAll already made the status sticky; a poisoned tail will
+        // never heal, so stop burning cycles. Reads keep serving.
+        SIOT_LOG_WARN("replica tailing stopped: %s",
+                      polled.status().ToString().c_str());
+        break;
+      }
+    }
+  });
+}
+
+void ReplicaService::StopPollThread() {
+  {
+    std::lock_guard<std::mutex> lock(poll_mutex_);
+    stopping_ = true;
+  }
+  poll_cv_.notify_all();
+  if (poll_thread_.joinable()) poll_thread_.join();
+}
+
+// --------------------------------------------------------- read surface --
+
+Status ReplicaService::ValidateTaskLocked(const ReplicaShard& shard,
+                                          trust::TaskId task) const {
+  if (static_cast<std::size_t>(task) >= shard.engine->catalog().size()) {
+    return Status::InvalidArgument(
+        "task id " + std::to_string(task) +
+        " is not registered (or its registration has not replicated to "
+        "this follower yet)");
+  }
+  return Status::OK();
+}
+
+StatusOr<double> ReplicaService::PreEvaluate(trust::AgentId trustor,
+                                             trust::AgentId trustee,
+                                             trust::TaskId task) const {
+  SIOT_RETURN_IF_ERROR(CheckServing());
+  SIOT_RETURN_IF_ERROR(ValidateAgent(trustor, "trustor"));
+  SIOT_RETURN_IF_ERROR(ValidateAgent(trustee, "trustee"));
+  pre_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  const ReplicaShard& shard =
+      *shards_[ShardIndexForTrustor(trustor, shards_.size())];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  SIOT_RETURN_IF_ERROR(ValidateTaskLocked(shard, task));
+  return shard.engine->PreEvaluate(trustor, trustee, task);
+}
+
+StatusOr<trust::DelegationRequestResult> ReplicaService::RequestDelegation(
+    const DelegationServiceRequest& request) const {
+  SIOT_RETURN_IF_ERROR(CheckServing());
+  SIOT_RETURN_IF_ERROR(ValidateAgent(request.trustor, "trustor"));
+  for (const trust::AgentId candidate : request.candidates) {
+    SIOT_RETURN_IF_ERROR(ValidateAgent(candidate, "candidate"));
+  }
+  delegation_requests_.fetch_add(1, std::memory_order_relaxed);
+  const ReplicaShard& shard =
+      *shards_[ShardIndexForTrustor(request.trustor, shards_.size())];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  SIOT_RETURN_IF_ERROR(ValidateTaskLocked(shard, request.task));
+  return shard.engine->RequestDelegation(request.trustor, request.task,
+                                         request.candidates,
+                                         request.self_estimates);
+}
+
+StatusOr<std::vector<double>> ReplicaService::BatchPreEvaluate(
+    std::span<const PreEvaluateRequest> requests) const {
+  SIOT_RETURN_IF_ERROR(CheckServing());
+  for (const PreEvaluateRequest& request : requests) {
+    SIOT_RETURN_IF_ERROR(ValidateAgent(request.trustor, "trustor"));
+    SIOT_RETURN_IF_ERROR(ValidateAgent(request.trustee, "trustee"));
+  }
+  pre_evaluations_.fetch_add(requests.size(), std::memory_order_relaxed);
+  std::vector<double> results(requests.size());
+  std::vector<std::vector<std::size_t>> buckets(shards_.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    buckets[ShardIndexForTrustor(requests[i].trustor, shards_.size())]
+        .push_back(i);
+  }
+  for (std::size_t s = 0; s < buckets.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    const ReplicaShard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    for (const std::size_t i : buckets[s]) {
+      SIOT_RETURN_IF_ERROR(ValidateTaskLocked(shard, requests[i].task));
+      results[i] = shard.engine->PreEvaluate(
+          requests[i].trustor, requests[i].trustee, requests[i].task);
+    }
+  }
+  return results;
+}
+
+TrustServiceStats ReplicaService::Stats() const {
+  TrustServiceStats stats;
+  stats.shard_count = shards_.size();
+  stats.pre_evaluations = pre_evaluations_.load(std::memory_order_relaxed);
+  stats.delegation_requests =
+      delegation_requests_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    stats.record_count += shard->engine->store().size();
+    stats.pair_count += shard->engine->store().pair_count();
+  }
+  return stats;
+}
+
+// --------------------------------------------- rejected mutation surface --
+
+Status ReplicaService::ReportOutcome(const OutcomeReport&) {
+  return ReadOnly("ReportOutcome");
+}
+
+Status ReplicaService::BatchReportOutcome(std::span<const OutcomeReport>) {
+  return ReadOnly("BatchReportOutcome");
+}
+
+StatusOr<trust::TaskId> ReplicaService::RegisterTask(
+    const std::string&, const std::vector<trust::CharacteristicId>&) {
+  return ReadOnly("RegisterTask");
+}
+
+Status ReplicaService::SetReverseThreshold(trust::AgentId, trust::TaskId,
+                                           double) {
+  return ReadOnly("SetReverseThreshold");
+}
+
+Status ReplicaService::SetEnvironmentIndicator(trust::AgentId, double) {
+  return ReadOnly("SetEnvironmentIndicator");
+}
+
+// --------------------------------------------------------------- promote --
+
+StatusOr<std::unique_ptr<TrustService>> ReplicaService::Promote(
+    const PersistenceOptions& options) {
+  SIOT_RETURN_IF_ERROR(CheckServing());
+  if (options.directory != options_.directory) {
+    return Status::InvalidArgument(
+        "Promote options name directory " + options.directory +
+        " but this replica follows " + options_.directory);
+  }
+  // Fence first: while the old leader lives it holds the LOCK and this
+  // fails FailedPrecondition — a live leader must never be usurped.
+  DirectoryLock fence;
+  SIOT_RETURN_IF_ERROR(fence.Acquire(options_.directory));
+  // The leader is dead and fenced out, so the WALs are static: finish
+  // the tail. A trailing torn frame stays — it was never acknowledged,
+  // and recovery below discards it exactly as a leader restart would.
+  for (;;) {
+    SIOT_ASSIGN_OR_RETURN(const std::size_t applied, PollAll());
+    if (applied == 0) break;
+  }
+  // Come up writable over the replayed directory, inheriting the held
+  // fence. Recovery re-derives the state this replica tailed to — the
+  // promote test asserts the two are byte-identical, which is the
+  // end-to-end proof that tailing replicates faithfully.
+  //
+  // The background tailer (if any) keeps running until Open succeeds: a
+  // failed promote must leave a fully live replica (still tailing, no
+  // sticky state), and concurrent tailing during recovery is safe — it
+  // only reads files, and recovery's tail-truncation never cuts below
+  // the follower's frame-aligned offset.
+  SIOT_ASSIGN_OR_RETURN(std::unique_ptr<TrustService> promoted,
+                        TrustService::Open(config_, options,
+                                           std::move(fence)));
+  promoted_.store(true, std::memory_order_release);
+  StopPollThread();
+  return promoted;
+}
+
+}  // namespace siot::service

@@ -1,0 +1,267 @@
+// Copyright 2026 The siot-trust Authors.
+// ReplicaService: a read-only follower of a durable TrustService, built
+// on the observation that the per-shard WALs ARE a replication stream —
+// CRC-framed, sequence-numbered, applied through a replay path that is
+// provably byte-identical to the leader's in-memory state.
+//
+// The follower opens the leader's persistence directory (or a copied /
+// streamed snapshot of it), restores the latest per-shard checkpoint,
+// then TAILS each shard's WAL: every poll reads the frames appended past
+// its applied sequence number, validates CRC and sequence continuity,
+// and applies them through service::ApplyWalOp. The paper's workload is
+// read-dominated — Eq. 4 inference and Eq. 23/24 delegation ranking are
+// queries over accumulated direct experience — so a fleet of followers
+// scales exactly the traffic that matters, and a follower that promotes
+// on leader death is the availability story trust-resilient SIoT
+// platforms need.
+//
+// Three hazards of tailing a live log, and how each is handled:
+//
+//   torn tail      the leader's append may be mid-flight when we read:
+//                  the last frame's bytes stop before its declared
+//                  length. WAIT — the bytes arrive on the next poll.
+//                  Never treated as corruption (WalTailKind::kTorn vs
+//                  kCorrupt is exactly this distinction).
+//   truncation     the leader checkpointed: the WAL file shrank (or our
+//   race           read offset now points into the middle of new
+//                  frames, which decode as garbage). Detected by
+//                  size < offset, a sequence gap, or a CRC failure WITH
+//                  a newer checkpoint on disk — reload the checkpoint,
+//                  rewind to offset 0, and resume; already-applied
+//                  sequence numbers are skipped, so no frame is ever
+//                  applied twice.
+//   corruption     a complete frame whose CRC/length is invalid and no
+//                  newer checkpoint explains it. HALT (sticky
+//                  Corruption from TailStatus); reads keep serving the
+//                  last consistent state, mutations were never accepted.
+//
+// Failover: Promote() fences the directory by acquiring the LOCK the
+// old leader held (refused while the leader is alive), finishes the
+// tail, and brings up a writable TrustService over the same directory —
+// handing it the held fence so there is no window in which a third node
+// could seize leadership. Every write the old leader acknowledged is in
+// the WALs, so the promoted service serves them all: zero
+// acknowledged-write loss.
+//
+// Thread safety: all public methods are safe to call concurrently; each
+// shard has a shared_mutex (reads shared, tailing exclusive), mirroring
+// TrustService.
+
+#ifndef SIOT_SERVICE_REPLICATION_H_
+#define SIOT_SERVICE_REPLICATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/persistence.h"
+#include "service/trust_service.h"
+#include "trust/trust_engine.h"
+
+namespace siot::service {
+
+/// Follower configuration.
+struct ReplicaOptions {
+  /// The leader's persistence directory (or a copy of one). Must already
+  /// hold a manifest — a replica never initializes a directory.
+  std::string directory;
+  /// Background tailing period (0 = no thread; the owner drives polls
+  /// via PollAll / AwaitPositions).
+  std::chrono::milliseconds poll_period{0};
+  /// Apply at most this many frames per shard per PollAll call
+  /// (0 = unlimited). Exists for the crash-during-catch-up tests, which
+  /// need to stop a follower at precise mid-catch-up points.
+  std::size_t max_frames_per_poll = 0;
+};
+
+/// One shard's replication position, relative to what is on disk now.
+struct ShardReplicationLag {
+  std::size_t shard = 0;
+  /// Last op sequence applied to this follower's engine.
+  std::uint64_t applied_seq = 0;
+  /// Last valid frame sequence visible in the WAL right now (>= applied
+  /// unless the leader just checkpoint-truncated).
+  std::uint64_t visible_seq = 0;
+  /// visible_seq - applied_seq (0 when caught up).
+  std::uint64_t seq_lag = 0;
+  /// Current WAL file size on disk.
+  std::uint64_t wal_bytes = 0;
+  /// Byte offset this follower has consumed.
+  std::uint64_t read_offset = 0;
+  /// wal_bytes - read_offset (0 when caught up or just truncated).
+  std::uint64_t byte_lag = 0;
+  /// A partial frame is pending at the tail (an append in flight).
+  bool torn_tail = false;
+};
+
+/// Read-only WAL-tailing follower; see file comment.
+class ReplicaService {
+ public:
+  /// Opens a follower over `options.directory`. The directory must have
+  /// been initialized by a leader under the SAME `config` (verified
+  /// against the manifest; a follower replaying under a different engine
+  /// config would silently diverge). Restores checkpoints, performs one
+  /// initial catch-up poll, and starts the background tailing thread
+  /// when `poll_period` is set. The leader may be live or dead; a
+  /// follower never takes the directory LOCK.
+  static StatusOr<std::unique_ptr<ReplicaService>> Open(
+      const TrustServiceConfig& config, const ReplicaOptions& options);
+
+  ~ReplicaService();
+  ReplicaService(const ReplicaService&) = delete;
+  ReplicaService& operator=(const ReplicaService&) = delete;
+
+  // ----------------------------------------------------------- tailing --
+
+  /// One tailing pass over every shard: applies all complete, in-sequence
+  /// frames currently on disk (up to max_frames_per_poll) and returns how
+  /// many were applied. A torn tail waits; a checkpoint-truncation
+  /// rewind is handled transparently; genuine corruption returns (and
+  /// stickies) Status Corruption.
+  StatusOr<std::size_t> PollAll();
+
+  /// Blocks until this follower's applied sequence reaches `targets`
+  /// (from the leader's WalPositions barrier) on every listed shard, or
+  /// `timeout` elapses (Unavailable). Drives polls itself when no
+  /// background thread is running.
+  Status AwaitPositions(std::span<const ShardWalPosition> targets,
+                        std::chrono::milliseconds timeout);
+
+  /// First corruption the tailer hit, if any (sticky; OK otherwise).
+  /// A poisoned follower keeps serving its last consistent state.
+  Status TailStatus() const;
+
+  /// Per-shard sequence/byte lag against the directory's current
+  /// contents. Advisory: the leader may append concurrently.
+  std::vector<ShardReplicationLag> ReplicationLag() const;
+
+  // ------------------------------------------------------ read surface --
+
+  /// Pre-evaluation TW_X←Y(τ) (shared lock on the trustor's shard).
+  StatusOr<double> PreEvaluate(trust::AgentId trustor,
+                               trust::AgentId trustee,
+                               trust::TaskId task) const;
+
+  /// Delegation RANKING query: strategy-aware Eq. 23/24 ranking over the
+  /// replicated estimates. Read-only (the engine call is const); the
+  /// resulting delegation outcome must be reported to the LEADER.
+  StatusOr<trust::DelegationRequestResult> RequestDelegation(
+      const DelegationServiceRequest& request) const;
+
+  /// Batched pre-evaluation, one lock acquisition per touched shard.
+  StatusOr<std::vector<double>> BatchPreEvaluate(
+      std::span<const PreEvaluateRequest> requests) const;
+
+  TrustServiceStats Stats() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Direct engine access for tests and offline inspection. NOT
+  /// synchronized — the caller must guarantee no concurrent use.
+  const trust::TrustEngine& shard_engine(std::size_t shard) const {
+    return *shards_[shard]->engine;
+  }
+
+  // -------------------------------------- rejected mutation surface --
+  // A follower is read-only: accepting a write would fork the WAL. All
+  // of these return FailedPrecondition, mirroring the service API so a
+  // router can address leaders and followers uniformly.
+
+  Status ReportOutcome(const OutcomeReport& report);
+  Status BatchReportOutcome(std::span<const OutcomeReport> reports);
+  StatusOr<trust::TaskId> RegisterTask(
+      const std::string& name,
+      const std::vector<trust::CharacteristicId>& characteristics);
+  Status SetReverseThreshold(trust::AgentId trustee, trust::TaskId task,
+                             double theta);
+  Status SetEnvironmentIndicator(trust::AgentId agent, double indicator);
+
+  // ----------------------------------------------------------- failover --
+
+  /// Takes over a dead leader's directory: acquires the directory LOCK
+  /// (FailedPrecondition while the old leader still holds it — a live
+  /// leader must never be usurped), finishes tailing the now-static
+  /// WALs, and opens a writable TrustService over the directory under
+  /// `options` (whose directory must match), handing it the held fence.
+  /// Every acknowledged write of the old leader is served by the new
+  /// one; an unacknowledged torn tail is discarded, exactly as leader
+  /// crash recovery would. On success this replica stops serving
+  /// (FailedPrecondition from every read) — its engines would silently
+  /// go stale the moment the new leader accepts a write.
+  StatusOr<std::unique_ptr<TrustService>> Promote(
+      const PersistenceOptions& options);
+
+ private:
+  struct ReplicaShard {
+    mutable std::shared_mutex mutex;
+    std::unique_ptr<trust::TrustEngine> engine;
+    std::string wal_path;
+    std::string checkpoint_path;
+    int fd = -1;  ///< Tailing descriptor (WAL inode survives truncation).
+    std::uint64_t read_offset = 0;   ///< Bytes consumed, frame-aligned.
+    std::uint64_t applied_seq = 0;   ///< Last op folded into `engine`.
+    std::uint64_t checkpoint_seq = 0;  ///< applied_seq of loaded ckpt.
+    bool checkpoint_loaded = false;
+    /// Identity (inode + size) of the loaded checkpoint file. Every
+    /// leader checkpoint atomically replaces the file with a fresh
+    /// inode, so a cheap stat detects "a checkpoint happened" even when
+    /// the truncated WAL ends exactly at our read offset and the byte
+    /// stream alone shows nothing new.
+    std::uint64_t checkpoint_ino = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    bool torn_pending = false;  ///< Last poll ended on a partial frame.
+    std::uint64_t wal_bytes_seen = 0;  ///< Size at last poll, for lag.
+  };
+
+  ReplicaService(const TrustServiceConfig& config,
+                 const ReplicaOptions& options);
+
+  /// One tailing pass over one shard; caller holds the exclusive lock.
+  StatusOr<std::size_t> PollShardLocked(ReplicaShard& shard);
+
+  /// Reloads the shard from the checkpoint on disk and rewinds the read
+  /// offset to 0 (the truncation-race path). `require_newer` demands the
+  /// checkpoint advanced past the one already loaded — the only way a
+  /// decode failure is legitimately explained; otherwise it is corruption.
+  Status RewindLocked(ReplicaShard& shard, bool require_newer,
+                      const std::string& why);
+
+  /// True when the checkpoint file on disk is not the one this shard
+  /// loaded (a leader checkpoint replaced it since).
+  bool CheckpointReplacedLocked(const ReplicaShard& shard) const;
+
+  /// FailedPrecondition once Promote succeeded.
+  Status CheckServing() const;
+
+  /// InvalidArgument unless `task` is registered in `shard`'s replicated
+  /// catalog; caller holds at least a shared lock on the shard.
+  Status ValidateTaskLocked(const ReplicaShard& shard,
+                            trust::TaskId task) const;
+
+  void StartPollThread();
+  void StopPollThread();
+
+  TrustServiceConfig config_;
+  ReplicaOptions options_;
+  std::vector<std::unique_ptr<ReplicaShard>> shards_;
+  std::thread poll_thread_;
+  mutable std::mutex poll_mutex_;
+  std::condition_variable poll_cv_;
+  bool stopping_ = false;
+  Status tail_status_;  ///< Guarded by poll_mutex_; sticky.
+  std::atomic<bool> promoted_{false};
+  mutable std::atomic<std::uint64_t> pre_evaluations_{0};
+  mutable std::atomic<std::uint64_t> delegation_requests_{0};
+};
+
+}  // namespace siot::service
+
+#endif  // SIOT_SERVICE_REPLICATION_H_

@@ -25,15 +25,13 @@ TrustService::~TrustService() { StopCheckpointThread(); }
 
 // ----------------------------------------------------------- durability --
 
-namespace {
-
 /// The manifest pins everything recovery correctness depends on: the
 /// shard count (ShardOf must route every trustor to the shard whose WAL
 /// holds its history) and the engine configuration (WAL replay re-runs
 /// the update equations; different β or environment handling would
 /// silently diverge from the pre-restart state).
-std::string BuildManifest(std::size_t shard_count,
-                          const TrustServiceConfig& config) {
+std::string BuildServiceManifest(std::size_t shard_count,
+                                 const TrustServiceConfig& config) {
   const trust::TrustEngineConfig& e = config.engine;
   std::string out = "siot-manifest 1\n";
   out += StrFormat("shards %zu\n", shard_count);
@@ -52,22 +50,39 @@ std::string BuildManifest(std::size_t shard_count,
   return out;
 }
 
-}  // namespace
-
 StatusOr<std::unique_ptr<TrustService>> TrustService::Open(
     const TrustServiceConfig& config, const PersistenceOptions& options) {
+  return Open(config, options, DirectoryLock());
+}
+
+StatusOr<std::unique_ptr<TrustService>> TrustService::Open(
+    const TrustServiceConfig& config, const PersistenceOptions& options,
+    DirectoryLock fence) {
   if (options.directory.empty()) {
     return Status::InvalidArgument("persistence directory is empty");
   }
   SIOT_RETURN_IF_ERROR(CreateDirectories(options.directory));
   std::unique_ptr<TrustService> service(new TrustService(config));
   // One live service per directory: concurrent appenders would
-  // interleave WAL sequence numbers and wreck recovery.
-  SIOT_RETURN_IF_ERROR(
-      service->directory_lock_.Acquire(options.directory));
+  // interleave WAL sequence numbers and wreck recovery. A promote hands
+  // in the fence it already holds; everyone else acquires here.
+  if (fence.held()) {
+    // A fence for some OTHER directory would skip the acquire while
+    // protecting nothing — the exact double-appender scenario the LOCK
+    // exists to prevent.
+    if (fence.directory() != options.directory) {
+      return Status::InvalidArgument(
+          "the pre-acquired fence locks '" + fence.directory() +
+          "' but Open was asked for '" + options.directory + "'");
+    }
+    service->directory_lock_ = std::move(fence);
+  } else {
+    SIOT_RETURN_IF_ERROR(
+        service->directory_lock_.Acquire(options.directory));
+  }
   service->persistence_ = options;
   const std::string manifest =
-      BuildManifest(service->shards_.size(), config);
+      BuildServiceManifest(service->shards_.size(), config);
   const std::string manifest_path = ManifestPath(options.directory);
   if (FileExists(manifest_path)) {
     SIOT_ASSIGN_OR_RETURN(const std::string existing,
@@ -231,13 +246,16 @@ void TrustService::StopCheckpointThread() {
   if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
 }
 
-std::size_t TrustService::ShardOf(trust::AgentId trustor) const {
-  // SplitMix64 finalizer: adjacent agent ids spread across shards so a
-  // dense trustor range doesn't pile onto one stripe.
+std::size_t ShardIndexForTrustor(trust::AgentId trustor,
+                                 std::size_t shard_count) {
   std::uint64_t z = trustor;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return static_cast<std::size_t>((z ^ (z >> 31)) % shards_.size());
+  return static_cast<std::size_t>((z ^ (z >> 31)) % shard_count);
+}
+
+std::size_t TrustService::ShardOf(trust::AgentId trustor) const {
+  return ShardIndexForTrustor(trustor, shards_.size());
 }
 
 // ------------------------------------------------------------- control --
@@ -567,6 +585,22 @@ Status TrustService::BatchReportOutcome(
 }
 
 // --------------------------------------------------------- observation --
+
+std::vector<ShardWalPosition> TrustService::WalPositions() const {
+  std::vector<ShardWalPosition> positions;
+  if (!persistent()) return positions;
+  positions.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    // Taking the lock shared waits out any in-flight append (appenders
+    // hold it exclusive), which is exactly the frame-visibility barrier
+    // the header promises.
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    positions.push_back(
+        {s, shard.persist->last_seq(), shard.persist->wal_bytes()});
+  }
+  return positions;
+}
 
 TrustServiceStats TrustService::Stats() const {
   TrustServiceStats stats;

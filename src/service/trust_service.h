@@ -87,6 +87,17 @@ struct OutcomeReport {
   bool trustor_was_abusive = false;
 };
 
+/// One shard's durable log position (see TrustService::WalPositions).
+struct ShardWalPosition {
+  std::size_t shard = 0;
+  /// Sequence number of the shard's last durably appended op (0 = none;
+  /// monotone over the directory's whole life — checkpoints truncate the
+  /// WAL file but never rewind sequence numbers).
+  std::uint64_t last_seq = 0;
+  /// Current WAL file size in bytes (drops to 0 at a checkpoint).
+  std::uint64_t wal_bytes = 0;
+};
+
 /// Point-in-time service counters and store sizes.
 struct TrustServiceStats {
   std::size_t shard_count = 0;
@@ -118,6 +129,25 @@ class TrustService {
   /// Status Corruption, never a crash. See service/persistence.h.
   static StatusOr<std::unique_ptr<TrustService>> Open(
       const TrustServiceConfig& config, const PersistenceOptions& options);
+
+  /// Open with an already-held directory fence: the failover path.
+  /// ReplicaService::Promote acquires the LOCK the moment the old leader
+  /// is observed dead and hands it here, so there is no release/
+  /// re-acquire window in which a third node could seize the directory.
+  /// An unheld `fence` behaves exactly like the two-argument Open.
+  static StatusOr<std::unique_ptr<TrustService>> Open(
+      const TrustServiceConfig& config, const PersistenceOptions& options,
+      DirectoryLock fence);
+
+  /// Per-shard durable WAL positions, in shard order — and a frame-
+  /// visibility barrier: each position is read under its shard's lock,
+  /// so every append that completed before this call is fully written
+  /// to its WAL file (a follower reading the file sees whole frames up
+  /// to `last_seq`, never a prefix of them). A follower whose applied
+  /// sequence reaches `last_seq` on every shard has replicated every
+  /// write acknowledged before the barrier. Empty when the service is
+  /// not persistent.
+  std::vector<ShardWalPosition> WalPositions() const;
 
   /// Checkpoints every shard now (serialize state, atomically replace the
   /// checkpoint file, truncate the WAL). Concurrency-safe: each shard is
@@ -273,6 +303,22 @@ class TrustService {
   mutable std::atomic<std::uint64_t> delegation_requests_{0};
   std::atomic<std::uint64_t> outcome_reports_{0};
 };
+
+/// Shard index serving `trustor` in a `shard_count`-shard deployment.
+/// The ONE routing function shared by TrustService and ReplicaService:
+/// a follower replays shard i's WAL into its own shard i, so leader and
+/// replicas must agree on routing forever — never fork this hash.
+/// (SplitMix64 finalizer: adjacent agent ids spread across shards so a
+/// dense trustor range doesn't pile onto one stripe.)
+std::size_t ShardIndexForTrustor(trust::AgentId trustor,
+                                 std::size_t shard_count);
+
+/// The manifest contents binding a persistence directory to a shard
+/// count + engine configuration. Exposed so a replica can verify it was
+/// opened under the exact configuration the leader's directory was
+/// created with (WAL replay under a different config silently diverges).
+std::string BuildServiceManifest(std::size_t shard_count,
+                                 const TrustServiceConfig& config);
 
 }  // namespace siot::service
 

@@ -21,6 +21,7 @@
 
 #include "service/persistence.h"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -769,6 +770,81 @@ TEST(PersistenceCorruptionTest, TruncationAtEveryByteRecoversAPrefix) {
         << "cut at byte " << cut;
   }
   std::filesystem::remove_all(work);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceCorruptionTest, ReadWalClassifiesTornVsCorruptTails) {
+  // A follower tailing a live WAL needs to tell "torn tail, retry
+  // later" (an append mid-flight / a crash mid-append) from "corrupt
+  // interior, halt" (bit rot that waiting can never fix). ReadWal
+  // reports the distinction via WalContents::tail.
+  const TrustServiceConfig config = MakeConfig(1);
+  const std::vector<ScriptOp> ops = SmallScript();
+  const std::string dir = MakeTestDir("tail_kind_master");
+  PersistenceOptions options;
+  options.directory = dir;
+  {
+    auto service = std::move(TrustService::Open(config, options)).value();
+    for (const ScriptOp& op : ops) {
+      ASSERT_TRUE(ApplyScriptOp(service.get(), op).ok());
+    }
+  }
+  const std::string wal_path = ShardWalPath(dir, 0);
+  const std::string wal_bytes = ReadFileToString(wal_path).value();
+  const WalContents master = ReadWal(wal_path).value();
+  ASSERT_EQ(master.tail, WalTailKind::kClean);
+  ASSERT_EQ(master.entries.size(), ops.size());
+  std::vector<std::size_t> boundary{0};
+  for (const WalEntry& entry : master.entries) {
+    boundary.push_back(boundary.back() + 16 + entry.payload.size());
+  }
+
+  const auto write_wal = [&](const std::string& bytes) {
+    std::ofstream f(wal_path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Every mid-frame truncation is TORN (the missing bytes could still
+  // arrive); every frame-boundary cut is CLEAN.
+  for (std::size_t cut = 0; cut <= wal_bytes.size(); ++cut) {
+    write_wal(wal_bytes.substr(0, cut));
+    const WalContents contents = ReadWal(wal_path).value();
+    const bool at_boundary =
+        std::find(boundary.begin(), boundary.end(), cut) != boundary.end();
+    EXPECT_EQ(contents.tail,
+              at_boundary ? WalTailKind::kClean : WalTailKind::kTorn)
+        << "cut at byte " << cut;
+    EXPECT_EQ(contents.dropped_tail, !at_boundary) << "cut " << cut;
+  }
+
+  // A payload bit flip inside a COMPLETE interior frame is CORRUPT: all
+  // its bytes are present, so the CRC mismatch is final. The scan stops
+  // at the frame's start and names the failure.
+  {
+    std::string flipped = wal_bytes;
+    const std::size_t victim = boundary[2] + 16 + 2;  // frame 2 payload
+    flipped[victim] = static_cast<char>(flipped[victim] ^ 0x01);
+    write_wal(flipped);
+    const WalContents contents = ReadWal(wal_path).value();
+    EXPECT_EQ(contents.tail, WalTailKind::kCorrupt);
+    EXPECT_EQ(contents.entries.size(), 2u);
+    EXPECT_EQ(contents.valid_bytes, boundary[2]);
+    EXPECT_NE(contents.tail_error.find("CRC mismatch"), std::string::npos)
+        << contents.tail_error;
+  }
+
+  // An absurd length field is CORRUPT too — no append ever writes one,
+  // and a torn write only shortens a frame.
+  {
+    std::string oversized = wal_bytes;
+    oversized[boundary[3] + 3] = static_cast<char>(0xFF);  // len high byte
+    write_wal(oversized);
+    const WalContents contents = ReadWal(wal_path).value();
+    EXPECT_EQ(contents.tail, WalTailKind::kCorrupt);
+    EXPECT_EQ(contents.entries.size(), 3u);
+    EXPECT_NE(contents.tail_error.find("length"), std::string::npos)
+        << contents.tail_error;
+  }
   std::filesystem::remove_all(dir);
 }
 

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Bench smoke: run the serving/persistence/replication/store benches in
+# quick mode and write machine-readable BENCH_*.json next to each other,
+# so CI can publish per-PR perf artifacts and a trend line can diff them.
+#
+# Usage: bench_smoke.sh <build-dir> [out-dir]
+#
+# Quick mode (SIOT_BENCH_QUICK=1) shrinks workload sizes inside the
+# binaries; --benchmark_min_time keeps google-benchmark's own iteration
+# budget small. Exits non-zero if any bench fails or a JSON comes out
+# empty — an unparseable artifact is worse than a missing one.
+set -eu
+
+build="$1"
+out="${2:-.}"
+mkdir -p "$out"
+
+run_bench() {
+  bench="$1"
+  json="$2"
+  echo "== ${bench} -> ${json} =="
+  SIOT_BENCH_QUICK=1 "${build}/bench/${bench}" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="${out}/${json}" \
+    --benchmark_out_format=json
+  if ! grep -q '"benchmarks"' "${out}/${json}"; then
+    echo "FAIL: ${out}/${json} has no benchmarks array" >&2
+    exit 1
+  fi
+}
+
+run_bench bench_service_throughput BENCH_service.json
+run_bench bench_persistence BENCH_persistence.json
+run_bench bench_store_scaling BENCH_store_scaling.json
+run_bench bench_replication BENCH_replication.json
+
+echo "bench-smoke OK:"
+ls -l "${out}"/BENCH_*.json
