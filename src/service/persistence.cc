@@ -173,8 +173,14 @@ Status WalWriter::Append(const std::vector<std::string>& payloads,
       return fail(std::move(s));
     }
   }
-  if (sync && ::fsync(fd_) != 0) {
-    return fail(Status::IoError(ErrnoMessage("fsync failed", path_)));
+  if (sync) {
+    if (Status s = Fire(hook, PersistStage::kWalBeforeSync, shard);
+        !s.ok()) {
+      return fail(std::move(s));
+    }
+    if (::fsync(fd_) != 0) {
+      return fail(Status::IoError(ErrnoMessage("fsync failed", path_)));
+    }
   }
   return Status::OK();
 }
@@ -218,6 +224,23 @@ WalFrameDecode DecodeWalFrame(std::string_view bytes, WalEntry* entry,
     // an append still landing) mid-write. The missing bytes may yet
     // arrive, so this is the retryable kind.
     return WalFrameDecode::kTorn;
+  }
+  if (len > 0) {
+    // Version dispatch BEFORE the CRC pass: a complete frame whose
+    // payload opens with a byte no codec version ever wrote (not the
+    // binary version byte, not printable v1 text) can never decode, so
+    // classify it without paying for the checksum of up to 256 MiB.
+    const auto first =
+        static_cast<unsigned char>(bytes[kFrameHeaderBytes]);
+    if (!IsKnownWalFormatByte(first)) {
+      if (error) {
+        *error = StrFormat(
+            "unknown payload format byte 0x%02x on a complete %u-byte "
+            "frame",
+            first, len);
+      }
+      return WalFrameDecode::kCorrupt;
+    }
   }
   const std::string_view checked = bytes.substr(8, 8 + len);
   if (Crc32cMask(Crc32c(checked)) != stored_crc) {
@@ -325,239 +348,128 @@ void DirectoryLock::Release() {
   directory_.clear();
 }
 
-// ----------------------------------------------------------------- ops --
-
-std::string EncodeOutcomeOp(
-    trust::AgentId trustor, trust::AgentId trustee, trust::TaskId task,
-    const trust::DelegationOutcome& outcome, bool trustor_was_abusive,
-    const std::vector<trust::AgentId>& intermediates) {
-  std::string op = StrFormat(
-      "outcome %u %u %u %d %.17g %.17g %.17g %d %zu", trustor, trustee,
-      task, outcome.success ? 1 : 0, outcome.gain, outcome.damage,
-      outcome.cost, trustor_was_abusive ? 1 : 0, intermediates.size());
-  for (const trust::AgentId agent : intermediates) {
-    op += StrFormat(" %u", agent);
-  }
-  return op;
-}
-
-std::string EncodeTaskOp(
-    const std::string& name,
-    const std::vector<trust::CharacteristicId>& characteristics) {
-  std::string op =
-      StrFormat("task %s %zu", trust::EscapeNameToken(name).c_str(),
-                characteristics.size());
-  for (const trust::CharacteristicId c : characteristics) {
-    op += StrFormat(" %u", c);
-  }
-  return op;
-}
-
-std::string EncodeThetaOp(trust::AgentId trustee, trust::TaskId task,
-                          double theta) {
-  if (task == trust::kNoTask) {
-    return StrFormat("theta %u * %.17g", trustee, theta);
-  }
-  return StrFormat("theta %u %u %.17g", trustee, task, theta);
-}
-
-std::string EncodeEnvOp(trust::AgentId agent, double indicator) {
-  return StrFormat("env %u %.17g", agent, indicator);
-}
+// ------------------------------------------------------ GroupCommitter --
 
 namespace {
 
-Status OpCorruption(std::string_view payload, const std::string& what) {
-  return Status::Corruption(
-      StrFormat("WAL op: %s in %s", what.c_str(),
-                trust::CorruptionSnippet(payload).c_str()));
-}
-
-StatusOr<std::int64_t> OpId(std::string_view payload,
-                            const std::string& field, const char* name) {
-  const auto parsed = ParseInt(field);
-  if (!parsed.ok() || parsed.value() < 0 ||
-      parsed.value() > trust::kMaxSerializedId) {
-    return OpCorruption(payload,
-                        StrFormat("malformed %s '%s'", name,
-                                  field.c_str()));
+/// Durably flushes every descriptor of one group-commit round. On Linux
+/// the per-shard WALs share a filesystem, so one syncfs(2) commits the
+/// journal transaction covering ALL of them — the whole point of
+/// coalescing; elsewhere fall back to a per-descriptor fsync loop.
+Status FlushRound(const std::vector<int>& fds) {
+#ifdef __linux__
+  if (::syncfs(fds.front()) != 0) {
+    return Status::IoError(ErrnoMessage("syncfs failed", "group commit"));
   }
-  return parsed.value();
-}
-
-StatusOr<double> OpDouble(std::string_view payload,
-                          const std::string& field, const char* name) {
-  const auto parsed = ParseDouble(field);
-  if (!parsed.ok()) {
-    return OpCorruption(payload,
-                        StrFormat("malformed %s '%s'", name,
-                                  field.c_str()));
+  return Status::OK();
+#else
+  for (const int fd : fds) {
+    if (::fsync(fd) != 0) {
+      return Status::IoError(ErrnoMessage("fsync failed", "group commit"));
+    }
   }
-  return parsed.value();
-}
-
-StatusOr<bool> OpFlag(std::string_view payload, const std::string& field,
-                      const char* name) {
-  if (field == "0") return false;
-  if (field == "1") return true;
-  return OpCorruption(payload, StrFormat("malformed %s '%s'", name,
-                                         field.c_str()));
+  return Status::OK();
+#endif
 }
 
 }  // namespace
 
+Status GroupCommitter::Sync(std::span<const int> fds, const FaultHook& hook,
+                            std::size_t shard) {
+  if (fds.empty()) return Status::OK();
+  sync_requests_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!failure_.ok()) return failure_;
+  const std::uint64_t my_round = round_;
+  pending_fds_.insert(pending_fds_.end(), fds.begin(), fds.end());
+  if (leader_active_) {
+    // Enrolled in a round someone else leads; its flush covers us. The
+    // leader advances `flushed_` even when the flush FAILS (later rounds
+    // must not wait on it forever), so "my round was flushed past" is
+    // not the same as "my bytes are durable" — only a round before the
+    // first failed one really hit the platter.
+    cv_.wait(lock, [&] { return flushed_ > my_round || !failure_.ok(); });
+    if (my_round >= failed_round_) return failure_;
+    return Status::OK();
+  }
+  // This caller leads round `my_round`: give co-committers the window to
+  // pile in, let the previous round's flush drain (both waits bounded —
+  // the window by itself, the drain by one in-flight flush), then take
+  // the pending set and flush it OUTSIDE the mutex so the next round
+  // can form meanwhile.
+  leader_active_ = true;
+  if (window_.count() > 0) {
+    cv_.wait_for(lock, window_, [&] { return !failure_.ok(); });
+  }
+  cv_.wait(lock, [&] { return flushed_ == my_round || !failure_.ok(); });
+  if (!failure_.ok()) {
+    leader_active_ = false;
+    cv_.notify_all();
+    return failure_;
+  }
+  const std::vector<int> round_fds = std::move(pending_fds_);
+  pending_fds_.clear();
+  round_ = my_round + 1;
+  leader_active_ = false;
+  lock.unlock();
+  Status flush = Fire(hook, PersistStage::kGroupCommitFlush, shard);
+  if (flush.ok()) flush = FlushRound(round_fds);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  lock.lock();
+  if (!flush.ok() && failure_.ok()) {
+    // Every writer coalesced into this flush — and every later caller —
+    // gets the SAME degradation: their appended frames' durability is
+    // unknown, exactly like a failed inline fsync, and only a restart
+    // (recovery re-reads the WALs) squares the ledger.
+    failure_ = Status::FailedPrecondition(
+        "group commit flush failed; the durability of every coalesced "
+        "append is unknown — restart to recover (" + flush.message() +
+        ")");
+    failed_round_ = my_round;
+  }
+  flushed_ = my_round + 1;
+  cv_.notify_all();
+  if (!failure_.ok()) return failure_;
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- ops --
+
 Status ApplyWalOp(std::string_view payload, trust::TrustEngine* engine) {
-  const std::vector<std::string> fields = Split(Trim(payload), ' ');
-  if (fields.empty() || fields[0].empty()) {
-    return OpCorruption(payload, "empty op");
-  }
-  const std::string& op = fields[0];
-  if (op == "outcome") {
-    if (fields.size() < 10) {
-      return OpCorruption(
-          payload, StrFormat("expected >= 10 fields, got %zu",
-                             fields.size()));
-    }
-    SIOT_ASSIGN_OR_RETURN(const std::int64_t trustor,
-                          OpId(payload, fields[1], "trustor"));
-    SIOT_ASSIGN_OR_RETURN(const std::int64_t trustee,
-                          OpId(payload, fields[2], "trustee"));
-    SIOT_ASSIGN_OR_RETURN(const std::int64_t task,
-                          OpId(payload, fields[3], "task"));
-    SIOT_ASSIGN_OR_RETURN(const bool success,
-                          OpFlag(payload, fields[4], "success"));
-    SIOT_ASSIGN_OR_RETURN(const double gain,
-                          OpDouble(payload, fields[5], "gain"));
-    SIOT_ASSIGN_OR_RETURN(const double damage,
-                          OpDouble(payload, fields[6], "damage"));
-    SIOT_ASSIGN_OR_RETURN(const double cost,
-                          OpDouble(payload, fields[7], "cost"));
-    SIOT_ASSIGN_OR_RETURN(const bool abusive,
-                          OpFlag(payload, fields[8], "abusive flag"));
-    const auto count = ParseInt(fields[9]);
-    if (!count.ok() || count.value() < 0 ||
-        static_cast<std::size_t>(count.value()) != fields.size() - 10) {
-      return OpCorruption(
-          payload, StrFormat("intermediate count '%s' does not match %zu "
-                             "trailing fields",
-                             fields[9].c_str(), fields.size() - 10));
-    }
-    // A corrupt log must never trip an engine SIOT_CHECK: the engine
-    // treats an unknown task id as a programming error, so check it here
-    // the way the serving boundary does.
-    if (static_cast<std::size_t>(task) >= engine->catalog().size()) {
-      return OpCorruption(
-          payload, StrFormat("task %lld not in the catalog (%zu tasks)",
-                             static_cast<long long>(task),
-                             engine->catalog().size()));
-    }
-    if (static_cast<trust::AgentId>(trustor) == trust::kNoAgent ||
-        static_cast<trust::AgentId>(trustee) == trust::kNoAgent) {
-      return OpCorruption(payload, "sentinel agent id");
-    }
-    // The serving boundary never logs non-finite observations; one here
-    // means corruption, and applying it would poison the estimates.
-    for (const double value : {gain, damage, cost}) {
-      if (!std::isfinite(value)) {
-        return OpCorruption(payload, "non-finite outcome value");
+  SIOT_ASSIGN_OR_RETURN(const WalOp op, DecodeAnyVersion(payload));
+  switch (op.kind) {
+    case WalOpKind::kOutcome: {
+      // A corrupt log must never trip an engine SIOT_CHECK: the engine
+      // treats an unknown task id as a programming error, so check it
+      // here the way the serving boundary does.
+      if (static_cast<std::size_t>(op.task) >= engine->catalog().size()) {
+        return WalOpCorruption(
+            payload, StrFormat("task %llu not in the catalog (%zu tasks)",
+                               static_cast<unsigned long long>(op.task),
+                               engine->catalog().size()));
       }
+      engine->ReportOutcome(op.trustor, op.trustee, op.task, op.outcome,
+                            op.trustor_was_abusive, op.intermediates);
+      return Status::OK();
     }
-    std::vector<trust::AgentId> intermediates;
-    intermediates.reserve(fields.size() - 10);
-    for (std::size_t i = 10; i < fields.size(); ++i) {
-      SIOT_ASSIGN_OR_RETURN(const std::int64_t agent,
-                            OpId(payload, fields[i], "intermediate"));
-      intermediates.push_back(static_cast<trust::AgentId>(agent));
-    }
-    trust::DelegationOutcome outcome;
-    outcome.success = success;
-    outcome.gain = gain;
-    outcome.damage = damage;
-    outcome.cost = cost;
-    engine->ReportOutcome(static_cast<trust::AgentId>(trustor),
-                          static_cast<trust::AgentId>(trustee),
-                          static_cast<trust::TaskId>(task), outcome,
-                          abusive, intermediates);
-    return Status::OK();
-  }
-  if (op == "task") {
-    if (fields.size() < 3) {
-      return OpCorruption(payload, "expected >= 3 fields");
-    }
-    const auto name = trust::UnescapeNameToken(fields[1]);
-    if (!name.ok()) {
-      return OpCorruption(payload, StrFormat("malformed task name '%s'",
-                                             fields[1].c_str()));
-    }
-    const auto count = ParseInt(fields[2]);
-    if (!count.ok() || count.value() < 0 ||
-        static_cast<std::size_t>(count.value()) != fields.size() - 3) {
-      return OpCorruption(
-          payload, StrFormat("characteristic count '%s' does not match "
-                             "%zu trailing fields",
-                             fields[2].c_str(), fields.size() - 3));
-    }
-    std::vector<trust::CharacteristicId> characteristics;
-    characteristics.reserve(fields.size() - 3);
-    for (std::size_t i = 3; i < fields.size(); ++i) {
-      SIOT_ASSIGN_OR_RETURN(const std::int64_t c,
-                            OpId(payload, fields[i], "characteristic"));
-      if (static_cast<std::size_t>(c) >= trust::kMaxCharacteristics) {
-        return OpCorruption(
-            payload, StrFormat("characteristic %lld out of range",
-                               static_cast<long long>(c)));
+    case WalOpKind::kTask: {
+      const auto added =
+          engine->catalog().AddUniform(op.name, op.characteristics);
+      if (!added.ok()) {
+        return WalOpCorruption(payload,
+                               "invalid task: " + added.status().message());
       }
-      characteristics.push_back(static_cast<trust::CharacteristicId>(c));
+      return Status::OK();
     }
-    const auto added =
-        engine->catalog().AddUniform(name.value(), characteristics);
-    if (!added.ok()) {
-      return OpCorruption(payload,
-                          "invalid task: " + added.status().message());
-    }
-    return Status::OK();
+    case WalOpKind::kTheta:
+      engine->reverse_evaluator().SetThreshold(op.trustee, op.task,
+                                               op.value);
+      return Status::OK();
+    case WalOpKind::kEnv:
+      engine->environment().SetIndicator(op.trustor, op.value);
+      return Status::OK();
   }
-  if (op == "theta") {
-    if (fields.size() != 4) {
-      return OpCorruption(payload, "expected 4 fields");
-    }
-    SIOT_ASSIGN_OR_RETURN(const std::int64_t trustee,
-                          OpId(payload, fields[1], "trustee"));
-    std::int64_t task = static_cast<std::int64_t>(trust::kNoTask);
-    if (fields[2] != "*") {
-      SIOT_ASSIGN_OR_RETURN(task, OpId(payload, fields[2], "task"));
-    }
-    SIOT_ASSIGN_OR_RETURN(const double theta,
-                          OpDouble(payload, fields[3], "theta"));
-    if (std::isnan(theta)) {
-      // The boundary rejects NaN thresholds (they defeat reconcile's
-      // exact-equality compare); one in a log is corruption.
-      return OpCorruption(payload, "NaN theta");
-    }
-    engine->reverse_evaluator().SetThreshold(
-        static_cast<trust::AgentId>(trustee),
-        static_cast<trust::TaskId>(task), theta);
-    return Status::OK();
-  }
-  if (op == "env") {
-    if (fields.size() != 3) {
-      return OpCorruption(payload, "expected 3 fields");
-    }
-    SIOT_ASSIGN_OR_RETURN(const std::int64_t agent,
-                          OpId(payload, fields[1], "agent"));
-    SIOT_ASSIGN_OR_RETURN(const double indicator,
-                          OpDouble(payload, fields[2], "indicator"));
-    if (!(indicator > 0.0 && indicator <= 1.0)) {
-      return OpCorruption(payload,
-                          StrFormat("indicator %g outside (0, 1]",
-                                    indicator));
-    }
-    engine->environment().SetIndicator(static_cast<trust::AgentId>(agent),
-                                       indicator);
-    return Status::OK();
-  }
-  return OpCorruption(payload,
-                      StrFormat("unknown op '%s'", op.c_str()));
+  return WalOpCorruption(payload, "unknown op kind");
 }
 
 // --------------------------------------------------- ShardPersistence --
@@ -691,13 +603,39 @@ Status ShardPersistence::Recover(trust::TrustEngine* engine) {
 }
 
 Status ShardPersistence::Log(const std::vector<std::string>& payloads) {
+  return LogImpl(payloads, /*defer_sync=*/false);
+}
+
+Status ShardPersistence::LogDeferSync(
+    const std::vector<std::string>& payloads) {
+  return LogImpl(payloads, /*defer_sync=*/true);
+}
+
+Status ShardPersistence::LogImpl(const std::vector<std::string>& payloads,
+                                 bool defer_sync) {
   if (payloads.empty()) return Status::OK();
-  SIOT_RETURN_IF_ERROR(writer_.Append(payloads, next_seq_,
-                                      options_->sync_every_append,
+  // With a committer, appends never sync inline: either this call
+  // enrolls in a group-commit round below, or (defer_sync) the caller
+  // batches several shards' descriptors into one round.
+  const bool inline_sync =
+      options_->sync_every_append && committer_ == nullptr;
+  SIOT_RETURN_IF_ERROR(writer_.Append(payloads, next_seq_, inline_sync,
                                       options_->fault_hook, shard_));
-  // The frames are durable from here on — advance the counters before
-  // the post-append kill-point so even a "crashed" object stays
-  // internally consistent.
+  if (inline_sync) ++inline_fsyncs_;
+  if (options_->sync_every_append && committer_ != nullptr && !defer_sync) {
+    const int fds[] = {writer_.fd()};
+    if (Status s = committer_->Sync(fds, options_->fault_hook, shard_);
+        !s.ok()) {
+      // The frames may or may not have reached the device; the writer is
+      // as poisoned as if its own fsync had failed.
+      writer_.Poison();
+      return s;
+    }
+  }
+  // The frames are durable from here on (deferred-sync callers: durable
+  // once THEIR committer round flushes; they must not acknowledge
+  // before it) — advance the counters before the post-append kill-point
+  // so even a "crashed" object stays internally consistent.
   next_seq_ += payloads.size();
   appends_since_checkpoint_ += payloads.size();
   for (const std::string& payload : payloads) {

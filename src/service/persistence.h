@@ -7,12 +7,15 @@
 // Lifecycle per shard (all files under one service directory):
 //
 //   shard-<i>.wal    append-only log. Every data-plane mutation and every
-//                    replicated admin write is encoded as a text op and
-//                    appended as a CRC32C-framed, length-prefixed,
-//                    sequence-numbered record BEFORE it is applied to the
-//                    shard's engine. A write is acknowledged to the caller
-//                    only after its log record is durably appended AND
-//                    applied.
+//                    replicated admin write is encoded as a versioned
+//                    codec op (binary v2; v1 text replays compatibly —
+//                    see service/wal_codec.h) and appended as a
+//                    CRC32C-framed, length-prefixed, sequence-numbered
+//                    record BEFORE it is applied to the shard's engine.
+//                    A write is acknowledged to the caller only after its
+//                    log record is durably appended AND applied; with
+//                    cross-shard group commit the flush may be deferred
+//                    past the apply, but never past the acknowledgment.
 //   shard-<i>.ckpt   checkpoint: the full engine state
 //                    (SerializeTrustEngineState) plus the sequence number
 //                    of the last op folded in. Written atomically
@@ -47,13 +50,19 @@
 #ifndef SIOT_SERVICE_PERSISTENCE_H_
 #define SIOT_SERVICE_PERSISTENCE_H_
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "service/wal_codec.h"
 #include "trust/trust_engine.h"
 
 namespace siot::service {
@@ -63,7 +72,9 @@ namespace siot::service {
 enum class PersistStage {
   kWalBeforeAppend,          ///< Nothing written yet.
   kWalMidAppend,             ///< Half the frame bytes written (torn record).
+  kWalBeforeSync,            ///< Frame written; inline fsync not yet issued.
   kWalAfterAppend,           ///< Frame durable; op NOT yet applied.
+  kGroupCommitFlush,         ///< Group-commit leader about to flush a round.
   kCheckpointMidWrite,       ///< Half the checkpoint tmp file written.
   kCheckpointBeforeRename,   ///< Tmp complete + synced; not yet renamed.
   kCheckpointBeforeTruncate, ///< Renamed; WAL not yet truncated.
@@ -87,6 +98,15 @@ struct PersistenceOptions {
   /// Background thread checkpoints dirty shards this often
   /// (0 = no background thread).
   std::chrono::milliseconds checkpoint_period{0};
+  /// Cross-shard group commit (only meaningful with sync_every_append):
+  /// instead of every shard fsyncing its own WAL inline, concurrent
+  /// durable appends enroll in a GroupCommitter that coalesces them into
+  /// one filesystem flush per window. The window bounds how long a flush
+  /// leader waits for co-committers to pile in; 0 disables group commit
+  /// (legacy per-shard inline fsync). Can also be set through the
+  /// SIOT_GROUP_COMMIT_WINDOW_US environment variable when this field is
+  /// zero, so a whole test suite can be flipped into group-commit mode.
+  std::chrono::microseconds group_commit_window{0};
   /// Test-only kill-point hook; see FaultHook.
   FaultHook fault_hook;
 };
@@ -173,13 +193,84 @@ class WalWriter {
   /// Truncates the log to zero length (after a checkpoint).
   Status Truncate();
 
+  /// Marks the writer failed without touching the file: used when a
+  /// DEFERRED flush (group commit) fails after Append returned — the
+  /// appended frames' durability is unknown, so the same
+  /// no-append-after-uncertainty rule as a failed Append applies.
+  void Poison() { poisoned_ = true; }
+
   void Close();
   bool is_open() const { return fd_ >= 0; }
+  /// Underlying descriptor for a deferred flush (-1 when closed).
+  int fd() const { return fd_; }
 
  private:
   int fd_ = -1;
   bool poisoned_ = false;
   std::string path_;
+};
+
+/// Cross-shard group commit: concurrent writers that each appended
+/// frames (without an inline fsync) enroll their WAL descriptors here,
+/// and one enrollee — the round's leader — flushes them ALL with a
+/// single filesystem flush (syncfs(2) on Linux: the per-shard WALs live
+/// on one filesystem, and the journal commit that makes one durable
+/// makes them all durable; a per-descriptor fsync loop elsewhere). The
+/// leader waits at most `window` for co-committers to pile in, then at
+/// most one in-flight flush (bounded wait), so a lone writer pays
+/// window + one flush, and N concurrent writers pay ~one flush total
+/// instead of N.
+///
+/// Failure blast radius: a failed flush leaves every enrolled writer's
+/// durability unknown, so EVERY participant of the failed round gets the
+/// same FailedPrecondition — and the failure is sticky: all later Sync
+/// calls refuse too (the service is degraded; restart to recover). The
+/// caller must poison the affected WalWriters itself (it owns their
+/// locks).
+///
+/// Thread-safe; this is the ONE object shared across shard locks.
+class GroupCommitter {
+ public:
+  explicit GroupCommitter(std::chrono::microseconds window)
+      : window_(window) {}
+
+  /// Durably flushes the filesystem holding `fds`, coalescing with every
+  /// concurrent caller. Returns only after the bytes this caller
+  /// appended (before calling) are durable — or FailedPrecondition when
+  /// this or an earlier round's flush failed. `hook`/`shard` feed the
+  /// kGroupCommitFlush kill-point (leader only).
+  Status Sync(std::span<const int> fds, const FaultHook& hook,
+              std::size_t shard);
+
+  /// Flush requests enrolled (one per Sync call).
+  std::uint64_t sync_requests() const {
+    return sync_requests_.load(std::memory_order_relaxed);
+  }
+  /// Filesystem flushes actually issued; `sync_requests() - flushes()`
+  /// is the number of fsyncs coalescing saved.
+  std::uint64_t flushes() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::chrono::microseconds window_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Round currently accepting enrollees; closes when its leader takes
+  /// the pending set.
+  std::uint64_t round_ = 0;
+  /// Rounds whose flush completed: round r's enrollees are durable once
+  /// flushed_ > r.
+  std::uint64_t flushed_ = 0;
+  bool leader_active_ = false;
+  std::vector<int> pending_fds_;
+  Status failure_;  ///< Sticky first flush failure.
+  /// Round of the first failed flush (none yet = max). Rounds before it
+  /// flushed durably; every round from it on reports `failure_` — the
+  /// exact blast radius of a failed group flush.
+  std::uint64_t failed_round_ = std::numeric_limits<std::uint64_t>::max();
+  std::atomic<std::uint64_t> sync_requests_{0};
+  std::atomic<std::uint64_t> flushes_{0};
 };
 
 /// Reads every valid frame of a WAL file. A missing file is an empty log.
@@ -219,30 +310,17 @@ class DirectoryLock {
 };
 
 // --------------------------------------------------------------- ops --
-// WAL payloads are single-line text ops, reusing the engine-state
-// serialization idioms (ids, %.17g doubles, percent-escaped names):
-//   outcome <trustor> <trustee> <task> <success> <gain> <damage> <cost>
-//           <abusive> <n_intermediates> <intermediate>...
-//   task <name> <n_characteristics> <characteristic>...
-//   theta <trustee> <task|*> <value>
-//   env <agent> <indicator>
+// WAL payloads are versioned codec records — binary v2 from this
+// service's writers, text v1 from directories that predate the binary
+// format. Encoders and the format-dispatching decoder live in
+// service/wal_codec.h (included above).
 
-std::string EncodeOutcomeOp(trust::AgentId trustor, trust::AgentId trustee,
-                            trust::TaskId task,
-                            const trust::DelegationOutcome& outcome,
-                            bool trustor_was_abusive,
-                            const std::vector<trust::AgentId>& intermediates);
-std::string EncodeTaskOp(
-    const std::string& name,
-    const std::vector<trust::CharacteristicId>& characteristics);
-std::string EncodeThetaOp(trust::AgentId trustee, trust::TaskId task,
-                          double theta);
-std::string EncodeEnvOp(trust::AgentId agent, double indicator);
-
-/// Validates and applies one op to `engine`. Replay-safe: every argument
-/// is checked against the engine's current state (task registered,
-/// indicator in range, no sentinel agents) and a violation returns
-/// Corruption — a corrupt log must never trip an engine SIOT_CHECK.
+/// Validates and applies one op (either codec version) to `engine`.
+/// Replay-safe: every argument is checked — intrinsically by the codec
+/// (field shapes, sentinel agents, value ranges) and against the
+/// engine's current state here (task registered in the catalog) — and a
+/// violation returns Corruption; a corrupt log must never trip an
+/// engine SIOT_CHECK.
 Status ApplyWalOp(std::string_view payload, trust::TrustEngine* engine);
 
 // ------------------------------------------------------ shard persister --
@@ -260,10 +338,33 @@ class ShardPersistence {
   /// freshly constructed with the service's engine config.
   Status Recover(trust::TrustEngine* engine);
 
+  /// In group-commit mode, Log (and deferred-sync callers) enroll this
+  /// shard's flushes here instead of fsyncing inline. Not owned; must
+  /// outlive this object. nullptr (the default) = inline fsync.
+  void set_group_committer(GroupCommitter* committer) {
+    committer_ = committer;
+  }
+
   /// Durably appends ops (one frame batch), assigning sequence numbers.
   /// On success the ops may be acknowledged once applied; on error the
-  /// service must treat the shard as crashed.
+  /// service must treat the shard as crashed. With sync_every_append the
+  /// append is flushed before returning — inline, or through the group
+  /// committer when one is set (coalescing with concurrent shards).
   Status Log(const std::vector<std::string>& payloads);
+
+  /// Log without the flush: appends the frames but leaves durability to
+  /// the caller, who must enroll wal_fd() in the service's
+  /// GroupCommitter (one Sync may cover many shards — the cross-shard
+  /// batch path) and Poison() this shard on a failed flush. Identical to
+  /// Log when no committer is set or syncing is off.
+  Status LogDeferSync(const std::vector<std::string>& payloads);
+
+  /// Descriptor for a deferred group flush (-1 before Recover).
+  int wal_fd() const { return writer_.fd(); }
+
+  /// Marks the writer unusable after a failed deferred flush; see
+  /// WalWriter::Poison.
+  void Poison() { writer_.Poison(); }
 
   /// Serializes `engine` to the checkpoint file (atomic replace) and
   /// truncates the WAL. Safe against a crash at any point (see file
@@ -288,15 +389,25 @@ class ShardPersistence {
   const std::string& wal_path() const { return wal_path_; }
   const std::string& checkpoint_path() const { return checkpoint_path_; }
 
+  /// Inline (non-coalesced) fsyncs this shard issued; group-mode flushes
+  /// are counted by the GroupCommitter instead.
+  std::uint64_t inline_fsyncs() const { return inline_fsyncs_; }
+
  private:
+  /// Shared Log/LogDeferSync body; `defer_sync` leaves group-mode
+  /// durability to the caller.
+  Status LogImpl(const std::vector<std::string>& payloads, bool defer_sync);
+
   const PersistenceOptions* options_;
   std::size_t shard_;
   std::string wal_path_;
   std::string checkpoint_path_;
   WalWriter writer_;
+  GroupCommitter* committer_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t appends_since_checkpoint_ = 0;
   std::uint64_t wal_bytes_ = 0;
+  std::uint64_t inline_fsyncs_ = 0;
 };
 
 /// Parses a checkpoint file (magic/CRC-validated) into the sequence

@@ -3,7 +3,9 @@
 #include "service/trust_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "common/file_util.h"
@@ -81,6 +83,22 @@ StatusOr<std::unique_ptr<TrustService>> TrustService::Open(
         service->directory_lock_.Acquire(options.directory));
   }
   service->persistence_ = options;
+  // CI (and operators) can force group commit on without a config plumb:
+  // an explicit nonzero option wins, else SIOT_GROUP_COMMIT_WINDOW_US.
+  if (service->persistence_.group_commit_window.count() == 0) {
+    if (const char* env = std::getenv("SIOT_GROUP_COMMIT_WINDOW_US");
+        env != nullptr) {
+      if (const auto parsed = ParseInt(env);
+          parsed.ok() && parsed.value() > 0) {
+        service->persistence_.group_commit_window =
+            std::chrono::microseconds(parsed.value());
+      }
+    }
+  }
+  if (service->persistence_.group_commit_window.count() > 0) {
+    service->group_committer_ = std::make_unique<GroupCommitter>(
+        service->persistence_.group_commit_window);
+  }
   const std::string manifest =
       BuildServiceManifest(service->shards_.size(), config);
   const std::string manifest_path = ManifestPath(options.directory);
@@ -100,6 +118,7 @@ StatusOr<std::unique_ptr<TrustService>> TrustService::Open(
     Shard& shard = *service->shards_[s];
     shard.persist =
         std::make_unique<ShardPersistence>(&service->persistence_, s);
+    shard.persist->set_group_committer(service->group_committer_.get());
     SIOT_RETURN_IF_ERROR(shard.persist->Recover(&shard.engine));
   }
   SIOT_RETURN_IF_ERROR(service->ReconcileAdminState());
@@ -135,7 +154,7 @@ Status TrustService::ReconcileAdminState() {
       for (const trust::WeightedCharacteristic& part : task.parts()) {
         characteristics.push_back(part.id);
       }
-      ops.push_back(EncodeTaskOp(task.name(), characteristics));
+      ops.push_back(EncodeTaskOpBinary(task.name(), characteristics));
     }
     const auto pack = [](trust::AgentId a, trust::TaskId t) {
       return (static_cast<std::uint64_t>(a) << 32) | t;
@@ -149,7 +168,7 @@ Status TrustService::ReconcileAdminState() {
       const auto it = have.find(pack(entry.trustee, entry.task));
       if (it == have.end() || it->second != entry.theta) {
         ops.push_back(
-            EncodeThetaOp(entry.trustee, entry.task, entry.theta));
+            EncodeThetaOpBinary(entry.trustee, entry.task, entry.theta));
       }
     }
     std::unordered_map<trust::AgentId, double> have_env;
@@ -160,7 +179,7 @@ Status TrustService::ReconcileAdminState() {
     for (const auto& [agent, indicator] : authority_env) {
       const auto it = have_env.find(agent);
       if (it == have_env.end() || it->second != indicator) {
-        ops.push_back(EncodeEnvOp(agent, indicator));
+        ops.push_back(EncodeEnvOpBinary(agent, indicator));
       }
     }
     if (ops.empty()) continue;
@@ -281,12 +300,18 @@ StatusOr<trust::TaskId> TrustService::RegisterTask(
     if (!probe.ok()) return probe.status();
   }
   trust::TaskId id = trust::kNoTask;
+  std::vector<std::size_t> logged_shards;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     if (shard.persist) {
-      SIOT_RETURN_IF_ERROR(LogOrDegrade(
-          shard.persist.get(), {EncodeTaskOp(name, characteristics)}));
+      // Deferred sync: all shard_count appends flush in ONE group-commit
+      // round below instead of one fsync per shard.
+      SIOT_RETURN_IF_ERROR(
+          LogOrDegrade(shard.persist.get(),
+                       {EncodeTaskOpBinary(name, characteristics)},
+                       /*defer_sync=*/true));
+      logged_shards.push_back(s);
     }
     const auto replica =
         shard.engine.catalog().AddUniform(name, characteristics);
@@ -297,6 +322,7 @@ StatusOr<trust::TaskId> TrustService::RegisterTask(
       SIOT_CHECK(replica.value() == id);
     }
   }
+  SIOT_RETURN_IF_ERROR(GroupSyncShards(logged_shards));
   task_count_.store(id + 1, std::memory_order_release);
   return id;
 }
@@ -310,13 +336,42 @@ Status TrustService::CheckNotDegraded() const {
   return Status::OK();
 }
 
-Status TrustService::LogOrDegrade(
-    ShardPersistence* persist, const std::vector<std::string>& payloads) {
-  Status logged = persist->Log(payloads);
+Status TrustService::LogOrDegrade(ShardPersistence* persist,
+                                  const std::vector<std::string>& payloads,
+                                  bool defer_sync) {
+  Status logged = defer_sync ? persist->LogDeferSync(payloads)
+                             : persist->Log(payloads);
   if (!logged.ok()) {
     degraded_.store(true, std::memory_order_release);
   }
   return logged;
+}
+
+Status TrustService::GroupSyncShards(
+    const std::vector<std::size_t>& shard_ids) {
+  if (group_committer_ == nullptr || !persistence_.sync_every_append ||
+      shard_ids.empty()) {
+    return Status::OK();
+  }
+  std::vector<int> fds;
+  fds.reserve(shard_ids.size());
+  for (const std::size_t s : shard_ids) {
+    fds.push_back(shards_[s]->persist->wal_fd());
+  }
+  Status synced = group_committer_->Sync(fds, persistence_.fault_hook,
+                                         shard_ids.front());
+  if (!synced.ok()) {
+    // The round's durability is unknown on EVERY enrolled shard; poison
+    // each writer (under its lock — appenders hold it) exactly as a
+    // failed inline fsync would have, then degrade the whole service.
+    for (const std::size_t s : shard_ids) {
+      Shard& shard = *shards_[s];
+      std::unique_lock<std::shared_mutex> lock(shard.mutex);
+      shard.persist->Poison();
+    }
+    degraded_.store(true, std::memory_order_release);
+  }
+  return synced;
 }
 
 Status TrustService::ValidateTask(trust::TaskId task) const {
@@ -395,16 +450,20 @@ Status TrustService::SetReverseThreshold(trust::AgentId trustee,
   }
   SIOT_RETURN_IF_ERROR(CheckNotDegraded());
   std::lock_guard<std::mutex> admin(admin_mutex_);
-  for (const auto& shard_ptr : shards_) {
-    Shard& shard = *shard_ptr;
+  std::vector<std::size_t> logged_shards;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     if (shard.persist) {
-      SIOT_RETURN_IF_ERROR(LogOrDegrade(
-          shard.persist.get(), {EncodeThetaOp(trustee, task, theta)}));
+      SIOT_RETURN_IF_ERROR(
+          LogOrDegrade(shard.persist.get(),
+                       {EncodeThetaOpBinary(trustee, task, theta)},
+                       /*defer_sync=*/true));
+      logged_shards.push_back(s);
     }
     shard.engine.reverse_evaluator().SetThreshold(trustee, task, theta);
   }
-  return Status::OK();
+  return GroupSyncShards(logged_shards);
 }
 
 Status TrustService::SetEnvironmentIndicator(trust::AgentId agent,
@@ -417,16 +476,20 @@ Status TrustService::SetEnvironmentIndicator(trust::AgentId agent,
   }
   SIOT_RETURN_IF_ERROR(CheckNotDegraded());
   std::lock_guard<std::mutex> admin(admin_mutex_);
-  for (const auto& shard_ptr : shards_) {
-    Shard& shard = *shard_ptr;
+  std::vector<std::size_t> logged_shards;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     if (shard.persist) {
-      SIOT_RETURN_IF_ERROR(LogOrDegrade(
-          shard.persist.get(), {EncodeEnvOp(agent, indicator)}));
+      SIOT_RETURN_IF_ERROR(
+          LogOrDegrade(shard.persist.get(),
+                       {EncodeEnvOpBinary(agent, indicator)},
+                       /*defer_sync=*/true));
+      logged_shards.push_back(s);
     }
     shard.engine.environment().SetIndicator(agent, indicator);
   }
-  return Status::OK();
+  return GroupSyncShards(logged_shards);
 }
 
 // ---------------------------------------------------------- data plane --
@@ -466,9 +529,9 @@ Status TrustService::ReportOutcome(const OutcomeReport& report) {
   if (shard.persist) {
     SIOT_RETURN_IF_ERROR(LogOrDegrade(
         shard.persist.get(),
-        {EncodeOutcomeOp(report.trustor, report.trustee, report.task,
-                         report.outcome, report.trustor_was_abusive,
-                         report.intermediates)}));
+        {EncodeOutcomeOpBinary(report.trustor, report.trustee, report.task,
+                               report.outcome, report.trustor_was_abusive,
+                               report.intermediates)}));
   }
   shard.engine.ReportOutcome(report.trustor, report.trustee, report.task,
                              report.outcome, report.trustor_was_abusive,
@@ -547,6 +610,7 @@ Status TrustService::BatchReportOutcome(
     SIOT_RETURN_IF_ERROR(ValidateReport(report));
   }
   Status failure;
+  std::vector<std::size_t> logged_shards;
   GroupByShard(
       reports.size(), [&](std::size_t i) { return reports[i].trustor; },
       [&](std::size_t s, const std::vector<std::size_t>& indices) {
@@ -554,22 +618,25 @@ Status TrustService::BatchReportOutcome(
         Shard& shard = *shards_[s];
         std::unique_lock<std::shared_mutex> lock(shard.mutex);
         if (shard.persist) {
-          // One frame batch = one write (+ at most one fsync) per shard
-          // per batch; a torn tail drops whole trailing records, never
-          // half a record.
+          // One frame batch = one write per shard per batch, and the
+          // flush is deferred so the WHOLE batch pays one group-commit
+          // round below instead of one fsync per touched shard; a torn
+          // tail drops whole trailing records, never half a record.
           std::vector<std::string> ops;
           ops.reserve(indices.size());
           for (const std::size_t i : indices) {
             const OutcomeReport& r = reports[i];
-            ops.push_back(EncodeOutcomeOp(r.trustor, r.trustee, r.task,
-                                          r.outcome, r.trustor_was_abusive,
-                                          r.intermediates));
+            ops.push_back(EncodeOutcomeOpBinary(
+                r.trustor, r.trustee, r.task, r.outcome,
+                r.trustor_was_abusive, r.intermediates));
           }
-          if (Status logged = LogOrDegrade(shard.persist.get(), ops);
+          if (Status logged = LogOrDegrade(shard.persist.get(), ops,
+                                           /*defer_sync=*/true);
               !logged.ok()) {
             failure = std::move(logged);
             return;
           }
+          logged_shards.push_back(s);
         }
         for (const std::size_t i : indices) {
           const OutcomeReport& r = reports[i];
@@ -581,7 +648,11 @@ Status TrustService::BatchReportOutcome(
                                    std::memory_order_relaxed);
         MaybeAutoCheckpointLocked(shard);
       });
-  return failure;
+  SIOT_RETURN_IF_ERROR(failure);
+  // Nothing is acknowledged before this flush returns: applied-but-
+  // unflushed frames are visible to readers for the window of one round,
+  // but an OK BatchReportOutcome still means "durable AND applied".
+  return GroupSyncShards(logged_shards);
 }
 
 // --------------------------------------------------------- observation --
@@ -615,6 +686,16 @@ TrustServiceStats TrustService::Stats() const {
     std::shared_lock<std::shared_mutex> lock(shard->mutex);
     stats.record_count += shard->engine.store().size();
     stats.pair_count += shard->engine.store().pair_count();
+    if (shard->persist) {
+      stats.wal_sync_requests += shard->persist->inline_fsyncs();
+      stats.wal_fsyncs += shard->persist->inline_fsyncs();
+    }
+  }
+  if (group_committer_ != nullptr) {
+    stats.wal_sync_requests += group_committer_->sync_requests();
+    stats.wal_fsyncs += group_committer_->flushes();
+    stats.wal_syncs_coalesced =
+        group_committer_->sync_requests() - group_committer_->flushes();
   }
   return stats;
 }

@@ -106,6 +106,15 @@ struct TrustServiceStats {
   std::uint64_t pre_evaluations = 0;  ///< Queries served since start.
   std::uint64_t delegation_requests = 0;
   std::uint64_t outcome_reports = 0;
+  /// Durable-mode flush accounting (all zero without persistence or with
+  /// sync_every_append off). `wal_sync_requests` counts logical "make
+  /// this durable" requests; `wal_fsyncs` counts device flushes actually
+  /// issued. Without group commit they advance in lockstep; with it,
+  /// `wal_syncs_coalesced` = requests − flushes is the number of syncs
+  /// the committer absorbed into a shared flush.
+  std::uint64_t wal_sync_requests = 0;
+  std::uint64_t wal_fsyncs = 0;
+  std::uint64_t wal_syncs_coalesced = 0;
 };
 
 /// Sharded, thread-safe trust serving layer; see file comment. All public
@@ -261,9 +270,20 @@ class TrustService {
   /// FailedPrecondition once a WAL append has failed (see degraded()).
   Status CheckNotDegraded() const;
 
-  /// Wraps a WAL append: a failure marks the service degraded.
+  /// Wraps a WAL append: a failure marks the service degraded. With
+  /// `defer_sync`, the append's flush is left to a later
+  /// GroupSyncShards call covering the whole batch (no-op difference
+  /// when group commit is off — see ShardPersistence::LogDeferSync).
   Status LogOrDegrade(ShardPersistence* persist,
-                      const std::vector<std::string>& payloads);
+                      const std::vector<std::string>& payloads,
+                      bool defer_sync = false);
+
+  /// Flushes the deferred appends of `shard_ids` in ONE group-commit
+  /// round (the cross-shard half of group commit: a batch or admin write
+  /// touching N shards pays one flush, not N). On failure every touched
+  /// shard's writer is poisoned — its frames' durability is unknown —
+  /// and the service degrades. No-op when group commit is off.
+  Status GroupSyncShards(const std::vector<std::size_t>& shard_ids);
 
   /// Completes admin writes a crash left partially replicated: shard 0
   /// (which replication reaches first) is authoritative; lagging shards
@@ -287,6 +307,10 @@ class TrustService {
   std::mutex admin_mutex_;
   /// Durable mode configuration; ShardPersistence instances point at it.
   PersistenceOptions persistence_;
+  /// Cross-shard fsync coalescer (durable mode with a nonzero
+  /// group_commit_window — possibly via SIOT_GROUP_COMMIT_WINDOW_US);
+  /// null means legacy per-shard inline fsync.
+  std::unique_ptr<GroupCommitter> group_committer_;
   /// Held for the service's lifetime in durable mode (one live service
   /// per directory).
   DirectoryLock directory_lock_;

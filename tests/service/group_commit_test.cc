@@ -1,0 +1,461 @@
+// Copyright 2026 The siot-trust Authors.
+// Proof harness for cross-shard group commit: concurrent shard writers
+// coalescing their WAL flushes into shared fsync rounds.
+//
+// The invariants under test:
+//   * coalescing really happens (flushes < sync requests under
+//     concurrency) and never costs correctness — a recovery after a
+//     coalesced run is byte-identical to a single-threaded reference;
+//   * a batch or admin write touching N shards pays ONE flush, not N;
+//   * the failure blast radius is exact: when a round's flush fails,
+//     EVERY writer coalesced into it gets the SAME FailedPrecondition,
+//     the service degrades, reads keep serving, and a restart recovers;
+//   * the SIOT_GROUP_COMMIT_WINDOW_US escape hatch turns the committer
+//     on without a config plumb (how CI runs both modes).
+//
+// The stress suite runs under TSan in CI (floor regex `GroupCommit`).
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/persistence.h"
+#include "service/trust_service.h"
+#include "trust/trust_store_io.h"
+
+namespace siot::service {
+namespace {
+
+using trust::AgentId;
+using trust::TaskId;
+
+TrustServiceConfig MakeConfig(std::size_t shards) {
+  TrustServiceConfig config;
+  config.shard_count = shards;
+  config.engine.beta = trust::ForgettingFactors::Uniform(0.2);
+  config.engine.initial_estimates = {0.5, 0.5, 0.5, 0.5};
+  return config;
+}
+
+std::string MakeTestDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "siot_gc_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::string> ShardStates(const TrustService& service) {
+  std::vector<std::string> states;
+  for (std::size_t s = 0; s < service.shard_count(); ++s) {
+    states.push_back(
+        trust::SerializeTrustEngineState(service.shard_engine(s)));
+  }
+  return states;
+}
+
+/// Deterministic report for (writer, round): disjoint trustor ranges per
+/// writer, so a single-threaded reference replay is byte-identical.
+OutcomeReport MakeReport(int writer, std::uint64_t round, TaskId task) {
+  OutcomeReport report;
+  report.trustor = static_cast<AgentId>(100 * writer + round % 10);
+  report.trustee = 1000 + static_cast<AgentId>((writer + round) % 7);
+  report.task = task;
+  report.outcome.success = (writer + round) % 3 != 0;
+  report.outcome.gain = 0.5 + 0.03125 * static_cast<double>(round % 8);
+  report.outcome.damage = report.outcome.success ? 0.0 : 0.25;
+  report.outcome.cost = 0.125;
+  report.trustor_was_abusive = (writer + round) % 5 == 0;
+  if (round % 4 == 0) {
+    report.intermediates = {2000 + static_cast<AgentId>(writer % 3)};
+  }
+  return report;
+}
+
+// ----------------------------------------------------------- coalescing --
+
+TEST(GroupCommitTest, ConcurrentWritersCoalesceAndRecoverExactly) {
+  const TrustServiceConfig config = MakeConfig(8);
+  const std::string dir = MakeTestDir("coalesce");
+  PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = true;
+  options.group_commit_window = std::chrono::milliseconds(5);
+
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kRounds = 20;
+  TaskId task = trust::kNoTask;
+  {
+    auto service = std::move(TrustService::Open(config, options)).value();
+    task = service->RegisterTask("sense", {0, 1}).value();
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (std::uint64_t round = 0; round < kRounds; ++round) {
+          EXPECT_TRUE(
+              service->ReportOutcome(MakeReport(w, round, task)).ok());
+        }
+      });
+    }
+    for (std::thread& writer : writers) writer.join();
+
+    const TrustServiceStats stats = service->Stats();
+    // 1 sync per report + 1 for the registration's admin round.
+    EXPECT_EQ(stats.wal_sync_requests,
+              static_cast<std::uint64_t>(kWriters) * kRounds + 1);
+    // The whole point: concurrent writers shared flushes. With a 5 ms
+    // window and 8 writers, rounds MUST have coalesced.
+    EXPECT_LT(stats.wal_fsyncs, stats.wal_sync_requests);
+    EXPECT_GT(stats.wal_syncs_coalesced, 0u);
+    EXPECT_EQ(stats.wal_fsyncs + stats.wal_syncs_coalesced,
+              stats.wal_sync_requests);
+  }
+
+  // Coalescing changed WHEN bytes hit the platter, never WHICH bytes:
+  // recovery equals a single-threaded unpersisted replay.
+  TrustService reference(config);
+  ASSERT_EQ(reference.RegisterTask("sense", {0, 1}).value(), task);
+  for (int w = 0; w < kWriters; ++w) {
+    for (std::uint64_t round = 0; round < kRounds; ++round) {
+      ASSERT_TRUE(reference.ReportOutcome(MakeReport(w, round, task)).ok());
+    }
+  }
+  PersistenceOptions clean = options;
+  auto reopened = std::move(TrustService::Open(config, clean)).value();
+  EXPECT_EQ(ShardStates(*reopened), ShardStates(reference));
+  reopened.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GroupCommitTest, CrossShardBatchAndAdminWritesPayOneFlush) {
+  // An admin write logs to EVERY shard and a batch touches many; with
+  // group commit each pays exactly one flush — the "one fsync per shard
+  // per batch" cost the refactor exists to remove.
+  const TrustServiceConfig config = MakeConfig(8);
+  const std::string dir = MakeTestDir("one_flush");
+  PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = true;
+  options.group_commit_window = std::chrono::microseconds(1);
+  auto service = std::move(TrustService::Open(config, options)).value();
+
+  const TaskId task = service->RegisterTask("sense", {0, 1}).value();
+  TrustServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.wal_sync_requests, 1u) << "8 shard appends, one round";
+  EXPECT_EQ(stats.wal_fsyncs, 1u);
+
+  ASSERT_TRUE(service->SetReverseThreshold(7, trust::kNoTask, 0.8).ok());
+  ASSERT_TRUE(service->SetEnvironmentIndicator(3, 0.5).ok());
+  std::vector<OutcomeReport> batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.push_back(MakeReport(i, 1, task));
+  }
+  ASSERT_TRUE(service->BatchReportOutcome(batch).ok());
+  stats = service->Stats();
+  EXPECT_EQ(stats.wal_sync_requests, 4u)
+      << "task + theta + env + one 32-report cross-shard batch";
+  EXPECT_EQ(stats.wal_fsyncs, 4u);
+  service.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GroupCommitTest, EnvWindowOverrideEnablesCommitter) {
+  // CI's lever: group_commit_window stays 0 in the options, the env var
+  // turns coalescing on. Observable as one admin round instead of
+  // per-shard inline fsyncs.
+  ASSERT_EQ(::setenv("SIOT_GROUP_COMMIT_WINDOW_US", "100", 1), 0);
+  const TrustServiceConfig config = MakeConfig(4);
+  const std::string dir = MakeTestDir("env_override");
+  PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = true;
+  auto service = std::move(TrustService::Open(config, options)).value();
+  ::unsetenv("SIOT_GROUP_COMMIT_WINDOW_US");
+  ASSERT_TRUE(service->RegisterTask("sense", {0}).ok());
+  const TrustServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.wal_sync_requests, 1u)
+      << "with the env override the 4 shard appends share one round";
+  EXPECT_EQ(stats.wal_fsyncs, 1u);
+  service.reset();
+  std::filesystem::remove_all(dir);
+
+  // Without the override, the same registration pays one inline fsync
+  // per shard.
+  const std::string dir2 = MakeTestDir("env_off");
+  PersistenceOptions plain;
+  plain.directory = dir2;
+  plain.sync_every_append = true;
+  auto inline_service =
+      std::move(TrustService::Open(config, plain)).value();
+  ASSERT_TRUE(inline_service->RegisterTask("sense", {0}).ok());
+  const TrustServiceStats inline_stats = inline_service->Stats();
+  EXPECT_EQ(inline_stats.wal_sync_requests, 4u);
+  EXPECT_EQ(inline_stats.wal_fsyncs, 4u);
+  EXPECT_EQ(inline_stats.wal_syncs_coalesced, 0u);
+  inline_service.reset();
+  std::filesystem::remove_all(dir2);
+}
+
+TEST(GroupCommitTest, StageHooksFireOnTheActivePath) {
+  // The bench's device model hinges on these two instrumentation points:
+  // inline mode fires kWalBeforeSync per fsync, group mode fires
+  // kGroupCommitFlush per round (and never the inline stage).
+  //
+  // This test pins each discipline explicitly, so CI's blanket
+  // SIOT_GROUP_COMMIT_WINDOW_US override (which would silently flip the
+  // inline half into group mode) must not apply here.
+  ::unsetenv("SIOT_GROUP_COMMIT_WINDOW_US");
+  std::atomic<int> before_sync{0};
+  std::atomic<int> group_flush{0};
+  const FaultHook hook = [&](PersistStage stage, std::size_t) -> Status {
+    if (stage == PersistStage::kWalBeforeSync) ++before_sync;
+    if (stage == PersistStage::kGroupCommitFlush) ++group_flush;
+    return Status::OK();
+  };
+  const TrustServiceConfig config = MakeConfig(2);
+
+  const std::string inline_dir = MakeTestDir("hook_inline");
+  PersistenceOptions inline_options;
+  inline_options.directory = inline_dir;
+  inline_options.sync_every_append = true;
+  inline_options.fault_hook = hook;
+  {
+    auto service =
+        std::move(TrustService::Open(config, inline_options)).value();
+    ASSERT_TRUE(service->RegisterTask("sense", {0}).ok());
+    EXPECT_EQ(before_sync.load(), 2) << "one inline fsync per shard";
+    EXPECT_EQ(group_flush.load(), 0);
+  }
+  std::filesystem::remove_all(inline_dir);
+
+  before_sync = 0;
+  group_flush = 0;
+  const std::string group_dir = MakeTestDir("hook_group");
+  PersistenceOptions group_options;
+  group_options.directory = group_dir;
+  group_options.sync_every_append = true;
+  group_options.fault_hook = hook;
+  group_options.group_commit_window = std::chrono::microseconds(1);
+  {
+    auto service =
+        std::move(TrustService::Open(config, group_options)).value();
+    ASSERT_TRUE(service->RegisterTask("sense", {0}).ok());
+    EXPECT_EQ(before_sync.load(), 0);
+    EXPECT_EQ(group_flush.load(), 1) << "both shards in one round";
+  }
+  std::filesystem::remove_all(group_dir);
+}
+
+// ------------------------------------------------- failure blast radius --
+
+TEST(GroupCommitTest, FailedFlushFailsEveryCoalescedWriterTheSameWay) {
+  // Satellite bugfix: when a round's flush fails, every writer whose
+  // append was coalesced into it must degrade identically — none may
+  // believe its write became durable.
+  const TrustServiceConfig config = MakeConfig(4);
+  const std::string dir = MakeTestDir("blast_radius");
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = true;
+  // A long window guarantees all four writers below coalesce into the
+  // SAME round before its flush fails.
+  options.group_commit_window = std::chrono::milliseconds(100);
+  options.fault_hook = [armed](PersistStage stage,
+                               std::size_t) -> Status {
+    if (stage == PersistStage::kGroupCommitFlush && armed->load()) {
+      return Status::IoError("simulated device failure");
+    }
+    return Status::OK();
+  };
+  auto service = std::move(TrustService::Open(config, options)).value();
+  const TaskId task = service->RegisterTask("sense", {0}).value();
+
+  // One trustor per DISTINCT shard: writers sharing a shard serialize on
+  // its lock (the second would see a poisoned writer, not the flush
+  // failure), and this test is about the writers that actually coalesced
+  // into the failed round.
+  constexpr int kWriters = 4;
+  std::vector<AgentId> trustors;
+  std::vector<bool> shard_taken(config.shard_count, false);
+  for (AgentId agent = 0;
+       trustors.size() < static_cast<std::size_t>(kWriters); ++agent) {
+    const std::size_t s = ShardIndexForTrustor(agent, config.shard_count);
+    if (!shard_taken[s]) {
+      shard_taken[s] = true;
+      trustors.push_back(agent);
+    }
+  }
+
+  armed->store(true);
+  std::vector<Status> statuses(kWriters);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!go.load()) std::this_thread::yield();
+      OutcomeReport report = MakeReport(w, 0, task);
+      report.trustor = trustors[static_cast<std::size_t>(w)];
+      statuses[static_cast<std::size_t>(w)] =
+          service->ReportOutcome(report);
+    });
+  }
+  go.store(true);
+  for (std::thread& writer : writers) writer.join();
+  armed->store(false);
+
+  for (int w = 0; w < kWriters; ++w) {
+    const Status& status = statuses[static_cast<std::size_t>(w)];
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+        << "writer " << w << ": " << status.ToString();
+    EXPECT_NE(status.ToString().find("group commit flush failed"),
+              std::string::npos)
+        << "writer " << w << ": " << status.ToString();
+    // The SAME degradation, not four different stories.
+    EXPECT_EQ(status.ToString(), statuses[0].ToString());
+  }
+  // The whole service is degraded (writers are poisoned), reads serve.
+  EXPECT_TRUE(service->degraded());
+  EXPECT_EQ(service->ReportOutcome(MakeReport(9, 1, task)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(service->PreEvaluate(1, 1001, task).ok());
+  service.reset();
+
+  // Restart squares the ledger and serves writes again.
+  PersistenceOptions clean;
+  clean.directory = dir;
+  clean.sync_every_append = true;
+  clean.group_commit_window = options.group_commit_window;
+  auto reopened = std::move(TrustService::Open(config, clean)).value();
+  EXPECT_FALSE(reopened->degraded());
+  EXPECT_TRUE(reopened->ReportOutcome(MakeReport(9, 2, task)).ok());
+  reopened.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GroupCommitTest, FailedCrossShardFlushPoisonsEveryTouchedShard) {
+  // The batch flavor of the blast radius: ONE deferred flush covers all
+  // touched shards, so its failure must fail the batch and degrade the
+  // service even though every per-shard append succeeded.
+  const TrustServiceConfig config = MakeConfig(4);
+  const std::string dir = MakeTestDir("batch_blast");
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = true;
+  options.group_commit_window = std::chrono::microseconds(1);
+  options.fault_hook = [armed](PersistStage stage,
+                               std::size_t) -> Status {
+    if (stage == PersistStage::kGroupCommitFlush && armed->load()) {
+      return Status::IoError("simulated device failure");
+    }
+    return Status::OK();
+  };
+  auto service = std::move(TrustService::Open(config, options)).value();
+  const TaskId task = service->RegisterTask("sense", {0}).value();
+
+  armed->store(true);
+  std::vector<OutcomeReport> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back(MakeReport(i, 0, task));
+  }
+  const Status failed = service->BatchReportOutcome(batch);
+  armed->store(false);
+  EXPECT_EQ(failed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(failed.ToString().find("group commit flush failed"),
+            std::string::npos)
+      << failed.ToString();
+  EXPECT_TRUE(service->degraded());
+  service.reset();
+
+  PersistenceOptions clean;
+  clean.directory = dir;
+  clean.sync_every_append = true;
+  auto reopened = std::move(TrustService::Open(config, clean)).value();
+  EXPECT_FALSE(reopened->degraded());
+  EXPECT_TRUE(reopened->ReportOutcome(MakeReport(1, 1, task)).ok());
+  reopened.reset();
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------------- stress --
+
+TEST(GroupCommitStressTest, WritersCheckpointsAndAdminRacesStayExact) {
+  // The TSan surface for the committer: single reports, cross-shard
+  // batches, admin writes, and explicit checkpoints all racing through
+  // shared flush rounds — then a recovery that must equal a
+  // single-threaded reference byte for byte.
+  const TrustServiceConfig config = MakeConfig(8);
+  const std::string dir = MakeTestDir("stress");
+  PersistenceOptions options;
+  options.directory = dir;
+  options.sync_every_append = true;
+  options.group_commit_window = std::chrono::microseconds(200);
+  options.checkpoint_every_appends = 64;
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kRounds = 12;
+  TaskId task = trust::kNoTask;
+  {
+    auto service = std::move(TrustService::Open(config, options)).value();
+    task = service->RegisterTask("sense", {0, 1}).value();
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (std::uint64_t round = 0; round < kRounds; ++round) {
+          if (round % 3 == 0) {
+            std::vector<OutcomeReport> batch;
+            for (int i = 0; i < 8; ++i) {
+              batch.push_back(
+                  MakeReport(w, 10 * round + static_cast<std::uint64_t>(i),
+                             task));
+            }
+            EXPECT_TRUE(service->BatchReportOutcome(batch).ok());
+          } else {
+            EXPECT_TRUE(
+                service->ReportOutcome(MakeReport(w, round, task)).ok());
+          }
+        }
+      });
+    }
+    std::thread checkpointer([&] {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(service->Checkpoint().ok());
+      }
+    });
+    for (std::thread& writer : writers) writer.join();
+    checkpointer.join();
+    EXPECT_TRUE(service->background_status().ok());
+    EXPECT_FALSE(service->degraded());
+  }
+
+  TrustService reference(config);
+  ASSERT_EQ(reference.RegisterTask("sense", {0, 1}).value(), task);
+  for (int w = 0; w < kWriters; ++w) {
+    for (std::uint64_t round = 0; round < kRounds; ++round) {
+      if (round % 3 == 0) {
+        std::vector<OutcomeReport> batch;
+        for (int i = 0; i < 8; ++i) {
+          batch.push_back(MakeReport(
+              w, 10 * round + static_cast<std::uint64_t>(i), task));
+        }
+        ASSERT_TRUE(reference.BatchReportOutcome(batch).ok());
+      } else {
+        ASSERT_TRUE(
+            reference.ReportOutcome(MakeReport(w, round, task)).ok());
+      }
+    }
+  }
+  auto reopened = std::move(TrustService::Open(config, options)).value();
+  EXPECT_EQ(ShardStates(*reopened), ShardStates(reference));
+  reopened.reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace siot::service

@@ -23,8 +23,14 @@ run_bench() {
     --benchmark_min_time=0.05 \
     --benchmark_out="${out}/${json}" \
     --benchmark_out_format=json
-  if ! grep -q '"benchmarks"' "${out}/${json}"; then
-    echo "FAIL: ${out}/${json} has no benchmarks array" >&2
+  # Parse, don't grep: a bench that crashed mid-run leaves a truncated
+  # file that still contains the '"benchmarks"' substring.
+  if ! python3 -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sys.exit(0 if doc.get('benchmarks') else 1)
+" "${out}/${json}"; then
+    echo "FAIL: ${out}/${json} is not valid JSON with benchmarks" >&2
     exit 1
   fi
 }
