@@ -1,0 +1,225 @@
+// Copyright 2026 The siot-trust Authors.
+// Overlay snapshot microbenchmarks — the follower-served transitive read
+// path:
+//   * rebuild cost vs graph size and shard count — the shard-lock-holding
+//     assembly (ShardedStoreOverlay → VersionedOverlaySnapshot) plus the
+//     lock-free hop-cache preparation, measured together as the full
+//     RebuildOverlaySnapshot a service runs;
+//   * hop-cache preparation alone — the dominant lock-free cost, per
+//     catalog size;
+//   * query throughput per §4.3 method against a sealed published
+//     snapshot — the steady-state read path a follower serves.
+// The reproduction section prints the rebuild-cost-vs-size curve the
+// README's "Follower-served reads" table quotes.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "graph/graph.h"
+#include "service/overlay_serving.h"
+#include "service/trust_service.h"
+#include "trust/overlay_builder.h"
+#include "trust/transitivity.h"
+
+namespace {
+
+using siot::service::OutcomeReport;
+using siot::service::TransitiveTrustRequest;
+using siot::service::TrustService;
+using siot::service::TrustServiceConfig;
+
+constexpr std::size_t kTasks = 3;
+
+std::shared_ptr<const siot::graph::Graph> RingGraph(
+    siot::trust::AgentId agents) {
+  siot::graph::GraphBuilder builder(agents);
+  for (siot::trust::AgentId t = 0; t < agents; ++t) {
+    for (siot::trust::AgentId d = 1; d <= 4; ++d) {
+      builder.AddEdge(t, (t + d) % agents);
+    }
+  }
+  return std::make_shared<siot::graph::Graph>(builder.Build());
+}
+
+TrustServiceConfig MakeConfig(std::size_t shards) {
+  TrustServiceConfig config;
+  config.shard_count = shards;
+  config.engine.beta = siot::trust::ForgettingFactors::Uniform(0.2);
+  return config;
+}
+
+siot::trust::TransitivityParams Params() {
+  siot::trust::TransitivityParams params;
+  params.omega1 = 0.5;
+  params.omega2 = 0.0;
+  params.max_hops = 4;
+  return params;
+}
+
+/// A service with every ring edge exercised once per round, transitive
+/// serving enabled but not yet built.
+std::unique_ptr<TrustService> MakeLoadedService(
+    siot::trust::AgentId agents, std::size_t shards,
+    std::shared_ptr<const siot::graph::Graph> graph) {
+  auto service = std::make_unique<TrustService>(MakeConfig(shards));
+  for (std::size_t j = 0; j < kTasks; ++j) {
+    SIOT_CHECK(service
+                   ->RegisterTask("task" + std::to_string(j),
+                                  {static_cast<
+                                       siot::trust::CharacteristicId>(
+                                       j % 2),
+                                   static_cast<
+                                       siot::trust::CharacteristicId>(
+                                       2 + j % 2)})
+                   .ok());
+  }
+  for (std::uint64_t round = 0; round < 2; ++round) {
+    std::vector<OutcomeReport> reports;
+    reports.reserve(agents);
+    for (siot::trust::AgentId t = 0; t < agents; ++t) {
+      OutcomeReport report;
+      report.trustor = t;
+      report.trustee = (t + 1 + (t + round) % 4) % agents;
+      report.task = static_cast<siot::trust::TaskId>((t + round) % kTasks);
+      report.outcome = {(t + round) % 3 != 0, 0.75, 0.125, 0.1};
+      reports.push_back(report);
+    }
+    SIOT_CHECK(service->BatchReportOutcome(reports).ok());
+  }
+  SIOT_CHECK(service->EnableTransitiveServing(std::move(graph), Params())
+                 .ok());
+  return service;
+}
+
+/// Full rebuild (assembly under shard locks + lock-free prepare + seal +
+/// publish) vs graph size and shard count. Args: agents, shards.
+void BM_OverlayRebuild(benchmark::State& state) {
+  const auto agents = static_cast<siot::trust::AgentId>(
+      siot::bench::QuickClamp(
+          static_cast<std::size_t>(state.range(0)), 256));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const auto graph = RingGraph(agents);
+  const auto service = MakeLoadedService(agents, shards, graph);
+  for (auto _ : state) {
+    SIOT_CHECK(service->RebuildOverlaySnapshot().ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["directed_edges"] =
+      static_cast<double>(2 * graph->edge_count());
+  state.SetLabel(siot::bench::QuickMode() ? "quick-clamped" : "");
+}
+BENCHMARK(BM_OverlayRebuild)
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->Args({4096, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 16})
+    ->Unit(benchmark::kMillisecond);
+
+/// Hop-cache preparation alone — build the snapshot once, measure
+/// TransitivitySearch construction + PrepareTasks + Seal. Args: agents.
+void BM_OverlayPrepare(benchmark::State& state) {
+  const auto agents = static_cast<siot::trust::AgentId>(
+      siot::bench::QuickClamp(
+          static_cast<std::size_t>(state.range(0)), 256));
+  const auto graph = RingGraph(agents);
+  const auto service = MakeLoadedService(agents, 4, graph);
+  SIOT_CHECK(service->RebuildOverlaySnapshot().ok());
+  const auto snapshot = service->CurrentOverlaySnapshot();
+  SIOT_CHECK(snapshot != nullptr);
+  std::vector<siot::trust::TaskId> tasks;
+  for (siot::trust::TaskId id = 0; id < snapshot->catalog().size(); ++id) {
+    tasks.push_back(id);
+  }
+  for (auto _ : state) {
+    siot::trust::TransitivitySearch search(snapshot->snapshot(),
+                                           snapshot->catalog(), Params());
+    search.PrepareTasks(tasks);
+    search.Seal();
+    benchmark::DoNotOptimize(search.sealed());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tasks.size()));
+  state.SetLabel(siot::bench::QuickMode() ? "quick-clamped" : "");
+}
+BENCHMARK(BM_OverlayPrepare)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// Steady-state serving: queries/s against a sealed published snapshot.
+/// Arg: §4.3 method (0 traditional, 1 conservative, 2 aggressive).
+void BM_OverlayQuery(benchmark::State& state) {
+  const auto agents = static_cast<siot::trust::AgentId>(
+      siot::bench::QuickClamp(1024, 256));
+  const auto graph = RingGraph(agents);
+  const auto service = MakeLoadedService(agents, 4, graph);
+  SIOT_CHECK(service->RebuildOverlaySnapshot().ok());
+  const auto method =
+      static_cast<siot::trust::TransitivityMethod>(state.range(0));
+  TransitiveTrustRequest request;
+  request.task = 0;
+  request.method = method;
+  siot::trust::AgentId trustor = 0;
+  for (auto _ : state) {
+    request.trustor = trustor;
+    trustor = (trustor + 17) % agents;
+    const auto answer = service->TransitiveTrust(request);
+    SIOT_CHECK(answer.ok());
+    benchmark::DoNotOptimize(answer.value().result.trustees.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(siot::trust::TransitivityMethodName(method)) +
+                 (siot::bench::QuickMode() ? " (quick-clamped)" : ""));
+}
+BENCHMARK(BM_OverlayQuery)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void PrintReproduction() {
+  siot::bench::PrintBanner(
+      "Overlay snapshots",
+      "follower-served transitive reads: rebuild cost vs graph size");
+  siot::TextTable table("RebuildOverlaySnapshot cost (4 shards, ring "
+                        "graph, 3 prepared tasks)");
+  table.SetHeader({"agents", "directed edges", "assembly ms",
+                   "rebuild ms", "snapshot bytes"});
+  std::vector<std::size_t> sizes = {256, 1024, 4096};
+  if (siot::bench::QuickMode()) sizes = {128, 256};
+  for (const std::size_t size : sizes) {
+    const auto agents = static_cast<siot::trust::AgentId>(size);
+    const auto graph = RingGraph(agents);
+    const auto service = MakeLoadedService(agents, 4, graph);
+    const auto start = std::chrono::steady_clock::now();
+    SIOT_CHECK(service->RebuildOverlaySnapshot().ok());
+    const double rebuild_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const siot::service::OverlaySnapshotInfo info = service->OverlayInfo();
+    const auto snapshot = service->CurrentOverlaySnapshot();
+    table.AddRow({std::to_string(size),
+                  std::to_string(info.directed_edge_count),
+                  std::to_string(info.last_assembly_cost.count()),
+                  siot::FormatDouble(rebuild_ms, 2),
+                  std::to_string(
+                      siot::trust::SerializeOverlaySnapshot(*snapshot)
+                          .size())});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+}
+
+}  // namespace
+
+SIOT_BENCH_MAIN(PrintReproduction)

@@ -7,6 +7,7 @@
 // Results are summarized in README.md ("Durability").
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <filesystem>
@@ -30,8 +31,11 @@ using siot::service::TrustService;
 using siot::service::TrustServiceConfig;
 
 std::string BenchDir(const std::string& tag) {
+  // Keyed by pid: a fixed path lets two concurrent bench runs (e.g. a
+  // baseline and a candidate) truncate each other's WAL mid-tail.
   const std::string dir =
-      (std::filesystem::temp_directory_path() / ("siot_bench_" + tag))
+      (std::filesystem::temp_directory_path() /
+       ("siot_bench_" + std::to_string(::getpid()) + "_" + tag))
           .string();
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);

@@ -12,6 +12,7 @@
 // README.md ("Replication & failover").
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <filesystem>
@@ -39,8 +40,11 @@ using siot::service::TrustService;
 using siot::service::TrustServiceConfig;
 
 std::string BenchDir(const std::string& tag) {
+  // Keyed by pid: a fixed path lets two concurrent bench runs (e.g. a
+  // baseline and a candidate) truncate each other's WAL mid-tail.
   const std::string dir =
-      (std::filesystem::temp_directory_path() / ("siot_bench_" + tag))
+      (std::filesystem::temp_directory_path() /
+       ("siot_bench_" + std::to_string(::getpid()) + "_" + tag))
           .string();
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
@@ -88,6 +92,26 @@ void BuildLeaderState(const std::string& dir, std::size_t shards,
   if (checkpointed) SIOT_CHECK(leader->Checkpoint().ok());
 }
 
+/// Record count once the follower has tailed a static log to its end.
+/// Open's initial poll may legitimately park on a retryable short/torn
+/// read (the live-tailing contract is wait-and-re-poll, and a transient
+/// short pread looks exactly like a leader mid-append); for a fully
+/// written log one more poll resolves it, so drive polls until the
+/// expected count lands. The caller's SIOT_CHECK stays the correctness
+/// gate if the deadline passes with records still missing.
+std::size_t CaughtUpRecordCount(ReplicaService& replica,
+                                std::size_t expect) {
+  std::size_t recovered = replica.Stats().record_count;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (recovered != expect &&
+         std::chrono::steady_clock::now() < deadline) {
+    SIOT_CHECK(replica.PollAll().ok());
+    recovered = replica.Stats().record_count;
+  }
+  return recovered;
+}
+
 /// Catch-up throughput: open a follower over a prebuilt directory and
 /// tail to the end. Args: records, shards, checkpointed.
 void BM_ReplicaCatchUp(benchmark::State& state) {
@@ -107,7 +131,7 @@ void BM_ReplicaCatchUp(benchmark::State& state) {
     auto replica =
         std::move(ReplicaService::Open(MakeConfig(shards), options))
             .value();
-    recovered = replica->Stats().record_count;
+    recovered = CaughtUpRecordCount(*replica, records);
     benchmark::DoNotOptimize(recovered);
   }
   SIOT_CHECK(recovered == records);
@@ -180,7 +204,7 @@ void BM_ReplicaCatchUpCodec(benchmark::State& state) {
   for (auto _ : state) {
     auto replica =
         std::move(ReplicaService::Open(config, replica_options)).value();
-    recovered = replica->Stats().record_count;
+    recovered = CaughtUpRecordCount(*replica, records);
     benchmark::DoNotOptimize(recovered);
   }
   SIOT_CHECK(recovered == records);

@@ -75,6 +75,7 @@ ReplicaService::ReplicaService(const TrustServiceConfig& config,
 }
 
 ReplicaService::~ReplicaService() {
+  StopRebuildThread();
   StopPollThread();
   for (const auto& shard : shards_) {
     if (shard->fd >= 0) ::close(shard->fd);
@@ -116,6 +117,13 @@ StatusOr<std::unique_ptr<ReplicaService>> ReplicaService::Open(
     return polled.status();
   }
   if (options.poll_period.count() > 0) replica->StartPollThread();
+  if (options.overlay_graph != nullptr) {
+    SIOT_RETURN_IF_ERROR(replica->overlay_.Configure(
+        options.overlay_graph, options.transitivity));
+    if (options.snapshot_rebuild_period.count() > 0) {
+      replica->StartRebuildThread();
+    }
+  }
   return replica;
 }
 
@@ -430,6 +438,112 @@ std::vector<ShardReplicationLag> ReplicaService::ReplicationLag() const {
   return lags;
 }
 
+// ----------------------------------------- transitive read surface --
+
+Status ReplicaService::BuildOverlaySnapshot() {
+  SIOT_RETURN_IF_ERROR(CheckServing());
+  const std::shared_ptr<const graph::Graph> graph = overlay_.graph();
+  if (graph == nullptr) {
+    return Status::FailedPrecondition(
+        "transitive serving not enabled (set "
+        "ReplicaOptions::overlay_graph)");
+  }
+  // One assembly at a time (owner-driven rebuilds can race the
+  // background thread); queries are untouched by this mutex.
+  std::lock_guard<std::mutex> build_lock(build_mutex_);
+  const auto assembly_start = std::chrono::steady_clock::now();
+  std::shared_ptr<const trust::VersionedOverlaySnapshot> built;
+  {
+    // Freeze ONE consistent cut: all shard shared locks held
+    // simultaneously for the whole assembly + version stamp. The tailer
+    // applies frames under per-shard EXCLUSIVE locks one shard at a
+    // time, so per-shard reads at different times could stamp an
+    // applied_seq vector no single moment of this follower ever was in
+    // (e.g. an admin write — replicated shard by shard — half-applied).
+    // Holding the read locks stalls only this follower's tailer for the
+    // assembly (bounded extra staleness); the LEADER's shard locks are
+    // never taken. Deadlock-free: the tailer and the read surface hold
+    // at most one shard lock at a time, and acquisition here is in
+    // fixed index order.
+    std::vector<std::shared_lock<std::shared_mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+    std::vector<const trust::TrustStore*> stores;
+    trust::SnapshotVersion version;
+    stores.reserve(shards_.size());
+    version.applied_seq.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      stores.push_back(&shard->engine->store());
+      version.applied_seq.push_back(shard->applied_seq);
+    }
+    // Admin state replicates to shard 0 first, so its catalog is the
+    // most complete; a task some other shard has not applied yet cannot
+    // have records there either (registration precedes use in every
+    // shard's WAL order).
+    const trust::ShardedStoreOverlay source(
+        std::move(stores), shards_[0]->engine->normalizer(),
+        [count = shards_.size()](trust::AgentId trustor) {
+          return ShardIndexForTrustor(trustor, count);
+        });
+    built = std::make_shared<trust::VersionedOverlaySnapshot>(
+        graph, shards_[0]->engine->catalog(), source, std::move(version));
+  }  // Locks drop here; hop-cache preparation below runs lock-free.
+  const auto assembly_cost =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - assembly_start);
+  return overlay_.Publish(std::move(built), assembly_cost);
+}
+
+StatusOr<TransitiveTrustResult> ReplicaService::TransitiveTrust(
+    const TransitiveTrustRequest& request) const {
+  SIOT_RETURN_IF_ERROR(CheckServing());
+  return overlay_.Query(request);
+}
+
+StatusOr<std::vector<TransitiveTrustResult>>
+ReplicaService::BatchTransitiveTrust(
+    std::span<const TransitiveTrustRequest> requests) const {
+  SIOT_RETURN_IF_ERROR(CheckServing());
+  return overlay_.BatchQuery(requests);
+}
+
+Status ReplicaService::OverlayRebuildStatus() const {
+  std::lock_guard<std::mutex> lock(rebuild_mutex_);
+  return rebuild_status_;
+}
+
+void ReplicaService::StartRebuildThread() {
+  rebuild_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(rebuild_mutex_);
+    while (!rebuild_stopping_) {
+      lock.unlock();
+      const Status built = BuildOverlaySnapshot();
+      lock.lock();
+      if (!built.ok()) {
+        // Keep serving the previous snapshot; record the failure for
+        // monitoring and keep trying (unlike a poisoned WAL tail, a
+        // rebuild failure is not necessarily permanent).
+        rebuild_status_ = built;
+        SIOT_LOG_WARN("overlay snapshot rebuild failed: %s",
+                      built.ToString().c_str());
+      } else {
+        rebuild_status_ = Status::OK();
+      }
+      rebuild_cv_.wait_for(lock, options_.snapshot_rebuild_period,
+                           [this] { return rebuild_stopping_; });
+    }
+  });
+}
+
+void ReplicaService::StopRebuildThread() {
+  {
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    rebuild_stopping_ = true;
+  }
+  rebuild_cv_.notify_all();
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+}
+
 void ReplicaService::StartPollThread() {
   poll_thread_ = std::thread([this] {
     std::unique_lock<std::mutex> lock(poll_mutex_);
@@ -606,6 +720,7 @@ StatusOr<std::unique_ptr<TrustService>> ReplicaService::Promote(
                                            std::move(fence)));
   promoted_.store(true, std::memory_order_release);
   StopPollThread();
+  StopRebuildThread();
   return promoted;
 }
 

@@ -63,6 +63,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "graph/graph.h"
+#include "service/overlay_serving.h"
 #include "service/persistence.h"
 #include "service/trust_service.h"
 #include "trust/trust_engine.h"
@@ -81,6 +83,19 @@ struct ReplicaOptions {
   /// (0 = unlimited). Exists for the crash-during-catch-up tests, which
   /// need to stop a follower at precise mid-catch-up points.
   std::size_t max_frames_per_poll = 0;
+
+  // --- follower-served transitive reads (null graph = disabled) ---
+
+  /// Social graph for the §4.3 transitive read path (agent i = node i).
+  /// When set, the follower can build versioned overlay snapshots over
+  /// its replicated shards and answer TransitiveTrust queries.
+  std::shared_ptr<const graph::Graph> overlay_graph;
+  /// Search parameters for the served transitivity queries.
+  trust::TransitivityParams transitivity;
+  /// Background snapshot rebuild period (0 = no thread; the owner
+  /// drives rebuilds via BuildOverlaySnapshot). The first build runs as
+  /// soon as the thread starts.
+  std::chrono::milliseconds snapshot_rebuild_period{0};
 };
 
 /// One shard's replication position, relative to what is on disk now.
@@ -143,6 +158,48 @@ class ReplicaService {
   /// Per-shard sequence/byte lag against the directory's current
   /// contents. Advisory: the leader may append concurrently.
   std::vector<ShardReplicationLag> ReplicationLag() const;
+
+  // -------------------------------------- transitive read surface --
+  // THE production home of §4.3 transitive serving: the follower holds
+  // every shard's replicated state, tolerates staleness by design, and
+  // its rebuild holds only FOLLOWER shard locks — the leader's write
+  // path is never touched. Answers carry the snapshot version (the
+  // per-shard applied_seq vector) + age; OverlayInfo() reports the same
+  // alongside ReplicationLag() for monitoring.
+
+  /// Assembles + publishes a fresh overlay snapshot from the replicated
+  /// shard stores. The applied_seq version vector is frozen under ONE
+  /// simultaneous all-shard shared-lock hold — a consistent cut the
+  /// tailer (which applies under per-shard exclusive locks) can never
+  /// split. The expensive hop-cache preparation runs after the locks
+  /// drop; readers of the previous snapshot never block.
+  /// FailedPrecondition without ReplicaOptions::overlay_graph or after
+  /// Promote().
+  Status BuildOverlaySnapshot();
+
+  /// Transitive trust query against the published snapshot.
+  StatusOr<TransitiveTrustResult> TransitiveTrust(
+      const TransitiveTrustRequest& request) const;
+
+  /// Batched variant: whole-batch validation, atomic rejection, every
+  /// answer from one snapshot.
+  StatusOr<std::vector<TransitiveTrustResult>> BatchTransitiveTrust(
+      std::span<const TransitiveTrustRequest> requests) const;
+
+  /// Version/age/size of the served snapshot (built=false before the
+  /// first successful build).
+  OverlaySnapshotInfo OverlayInfo() const { return overlay_.Info(); }
+
+  /// The served snapshot bundle (null before the first build).
+  std::shared_ptr<const trust::VersionedOverlaySnapshot>
+  CurrentOverlaySnapshot() const {
+    return overlay_.CurrentSnapshot();
+  }
+
+  /// Last error of the background rebuild thread, if any (OK otherwise
+  /// or when rebuilds are owner-driven). A failed rebuild keeps serving
+  /// the previous snapshot.
+  Status OverlayRebuildStatus() const;
 
   // ------------------------------------------------------ read surface --
 
@@ -248,10 +305,21 @@ class ReplicaService {
 
   void StartPollThread();
   void StopPollThread();
+  void StartRebuildThread();
+  void StopRebuildThread();
 
   TrustServiceConfig config_;
   ReplicaOptions options_;
   std::vector<std::unique_ptr<ReplicaShard>> shards_;
+  /// Snapshot-backed transitive read path (overlay_graph option).
+  OverlaySnapshotIndex overlay_;
+  /// Serializes snapshot assemblies (owner-driven vs background thread).
+  std::mutex build_mutex_;
+  std::thread rebuild_thread_;
+  mutable std::mutex rebuild_mutex_;
+  std::condition_variable rebuild_cv_;
+  bool rebuild_stopping_ = false;     ///< Guarded by rebuild_mutex_.
+  Status rebuild_status_;             ///< Guarded by rebuild_mutex_.
   std::thread poll_thread_;
   mutable std::mutex poll_mutex_;
   std::condition_variable poll_cv_;

@@ -655,6 +655,67 @@ Status TrustService::BatchReportOutcome(
   return GroupSyncShards(logged_shards);
 }
 
+// ------------------------------------------------ transitive read path --
+
+Status TrustService::EnableTransitiveServing(
+    std::shared_ptr<const graph::Graph> graph,
+    trust::TransitivityParams params) {
+  return overlay_.Configure(std::move(graph), std::move(params));
+}
+
+Status TrustService::RebuildOverlaySnapshot() {
+  const std::shared_ptr<const graph::Graph> graph = overlay_.graph();
+  if (graph == nullptr) {
+    return Status::FailedPrecondition(
+        "transitive serving not enabled (EnableTransitiveServing)");
+  }
+  const auto assembly_start = std::chrono::steady_clock::now();
+  std::shared_ptr<const trust::VersionedOverlaySnapshot> built;
+  {
+    // One consistent cut: every shard's shared lock is held
+    // SIMULTANEOUSLY for the whole assembly + version stamp. Per-shard
+    // reads at different times could catch an admin write (replicated
+    // shard by shard) half-applied, or stamp a version no single moment
+    // of the service ever was in. Deadlock-free: every other thread —
+    // data plane, admin, checkpointer — holds at most one shard lock at
+    // a time, and we acquire in fixed index order.
+    std::vector<std::shared_lock<std::shared_mutex>> locks;
+    locks.reserve(shards_.size());
+    for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+    std::vector<const trust::TrustStore*> stores;
+    trust::SnapshotVersion version;
+    stores.reserve(shards_.size());
+    version.applied_seq.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      stores.push_back(&shard->engine.store());
+      version.applied_seq.push_back(
+          shard->persist != nullptr ? shard->persist->last_seq() : 0);
+    }
+    const trust::ShardedStoreOverlay source(
+        std::move(stores), shards_[0]->engine.normalizer(),
+        [count = shards_.size()](trust::AgentId trustor) {
+          return ShardIndexForTrustor(trustor, count);
+        });
+    built = std::make_shared<trust::VersionedOverlaySnapshot>(
+        graph, shards_[0]->engine.catalog(), source, std::move(version));
+  }  // Locks drop here; hop-cache preparation below runs lock-free.
+  const auto assembly_cost =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - assembly_start);
+  return overlay_.Publish(std::move(built), assembly_cost);
+}
+
+StatusOr<TransitiveTrustResult> TrustService::TransitiveTrust(
+    const TransitiveTrustRequest& request) const {
+  return overlay_.Query(request);
+}
+
+StatusOr<std::vector<TransitiveTrustResult>>
+TrustService::BatchTransitiveTrust(
+    std::span<const TransitiveTrustRequest> requests) const {
+  return overlay_.BatchQuery(requests);
+}
+
 // --------------------------------------------------------- observation --
 
 std::vector<ShardWalPosition> TrustService::WalPositions() const {

@@ -44,6 +44,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "graph/graph.h"
+#include "service/overlay_serving.h"
 #include "service/persistence.h"
 #include "trust/trust_engine.h"
 #include "trust/types.h"
@@ -235,6 +237,46 @@ class TrustService {
       std::span<const DelegationServiceRequest> requests) const;
   Status BatchReportOutcome(std::span<const OutcomeReport> reports);
 
+  // ------------------------------------------- transitive read path --
+  // §4.3 transitivity needs a whole-graph overlay spanning every shard.
+  // The PRODUCTION home of this read path is a follower
+  // (ReplicaService) — it already holds all shards' replicated state and
+  // tolerates staleness, so the expensive assembly never holds leader
+  // shard locks. This single-node variant serves small deployments and
+  // the equivalence tests; its rebuild briefly holds every shard's
+  // SHARED lock (reads keep serving, writers stall for the assembly).
+
+  /// Arms transitive serving over `graph` (agent i = node i). Queries
+  /// stay FailedPrecondition until the first RebuildOverlaySnapshot.
+  Status EnableTransitiveServing(std::shared_ptr<const graph::Graph> graph,
+                                 trust::TransitivityParams params);
+
+  /// Assembles a fresh overlay snapshot from all shard stores under one
+  /// simultaneous all-shard shared-lock hold (one consistent cut; the
+  /// version stamp is the per-shard durable last_seq vector, all zeros
+  /// without persistence), then prepares + publishes it lock-free.
+  /// Readers of the previous snapshot are never blocked.
+  Status RebuildOverlaySnapshot();
+
+  /// Transitive trust query against the published snapshot; the result
+  /// carries the snapshot version + age it was answered from.
+  StatusOr<TransitiveTrustResult> TransitiveTrust(
+      const TransitiveTrustRequest& request) const;
+
+  /// Batched variant; the whole batch is validated up front, rejected
+  /// atomically, and answered from one snapshot.
+  StatusOr<std::vector<TransitiveTrustResult>> BatchTransitiveTrust(
+      std::span<const TransitiveTrustRequest> requests) const;
+
+  /// Version/age/size of the currently served snapshot.
+  OverlaySnapshotInfo OverlayInfo() const { return overlay_.Info(); }
+
+  /// The served snapshot bundle (null before the first rebuild).
+  std::shared_ptr<const trust::VersionedOverlaySnapshot>
+  CurrentOverlaySnapshot() const {
+    return overlay_.CurrentSnapshot();
+  }
+
   // ------------------------------------------------------- observation --
 
   std::size_t shard_count() const { return shards_.size(); }
@@ -304,6 +346,8 @@ class TrustService {
   void StopCheckpointThread();
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Snapshot-backed transitive read path (EnableTransitiveServing).
+  OverlaySnapshotIndex overlay_;
   std::mutex admin_mutex_;
   /// Durable mode configuration; ShardPersistence instances point at it.
   PersistenceOptions persistence_;

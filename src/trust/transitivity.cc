@@ -163,9 +163,16 @@ TransitivitySearch::TransitivitySearch(const TrustOverlaySnapshot& snapshot,
 
 TransitivitySearch::~TransitivitySearch() = default;
 
+void TransitivitySearch::Seal() {
+  SIOT_CHECK_MSG(snapshot_ != nullptr,
+                 "Seal() applies to snapshot-backed searches only");
+  sealed_ = true;
+}
+
 void TransitivitySearch::PrepareTasks(const std::vector<TaskId>& tasks,
                                       const PrepareExecutor& executor) {
   if (snapshot_ == nullptr) return;
+  SIOT_CHECK_MSG(!sealed_, "PrepareTasks on a sealed TransitivitySearch");
   std::vector<TaskId> distinct = tasks;
   std::sort(distinct.begin(), distinct.end());
   distinct.erase(std::unique(distinct.begin(), distinct.end()),
@@ -283,9 +290,14 @@ TransitivityResult TransitivitySearch::SearchTraditional(
     AgentId trustor, const Task& task) const {
   if (snapshot_ != nullptr) {
     // A cache hit is a pure read (shared-search concurrency relies on it);
-    // a miss builds the cache in place — single-threaded callers only.
+    // a miss builds the cache in place — single-threaded callers only,
+    // and a programming error once the search is sealed for sharing.
     auto it = caches_->exact_by_task.find(task.id());
     if (it == caches_->exact_by_task.end()) {
+      SIOT_CHECK_MSG(!sealed_,
+                     "query for unprepared task %u on a sealed "
+                     "TransitivitySearch",
+                     static_cast<unsigned>(task.id()));
       it = caches_->exact_by_task.try_emplace(task.id()).first;
       BuildExactCache(*snapshot_, task, it->second);
     }
@@ -433,9 +445,14 @@ TransitivityResult TransitivitySearch::SearchCharacteristicBased(
     AgentId trustor, const Task& task, bool conservative) const {
   if (snapshot_ != nullptr) {
     // A cache hit is a pure read (shared-search concurrency relies on it);
-    // a miss builds the cache in place — single-threaded callers only.
+    // a miss builds the cache in place — single-threaded callers only,
+    // and a programming error once the search is sealed for sharing.
     auto it = caches_->hops_by_task.find(task.id());
     if (it == caches_->hops_by_task.end()) {
+      SIOT_CHECK_MSG(!sealed_,
+                     "query for unprepared task %u on a sealed "
+                     "TransitivitySearch",
+                     static_cast<unsigned>(task.id()));
       it = caches_->hops_by_task.try_emplace(task.id()).first;
       BuildHopCache(*snapshot_, catalog_, task, it->second);
     }

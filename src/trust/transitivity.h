@@ -158,6 +158,21 @@ class TransitivitySearch {
   void PrepareTasks(const std::vector<TaskId>& tasks,
                     const PrepareExecutor& executor = {});
 
+  /// Snapshot-backed mode only: freezes the per-task caches. This is the
+  /// read-only-after-prepare contract made enforceable — after Seal(),
+  ///   * FindPotentialTrustees for a PREPARED task is a pure read (safe
+  ///     to share this object across any number of query threads), and
+  ///   * a query for an UNprepared task, which would otherwise build its
+  ///     cache in place through the mutable caches_ pointer, trips
+  ///     SIOT_CHECK instead of silently mutating shared state, as does a
+  ///     further PrepareTasks call.
+  /// The serving layer seals before publishing a snapshot and keeps only
+  /// a const handle, so a published search cannot be mutated at all.
+  void Seal();
+
+  /// True once Seal() ran (always false in live-overlay mode).
+  bool sealed() const { return sealed_; }
+
   /// Finds potential trustees of `trustor` for `task` under `method`.
   TransitivityResult FindPotentialTrustees(AgentId trustor, const Task& task,
                                            TransitivityMethod method) const;
@@ -186,8 +201,10 @@ class TransitivitySearch {
   /// Non-null in snapshot-backed mode.
   const TrustOverlaySnapshot* snapshot_ = nullptr;
   /// Per-task caches (snapshot-backed mode only); lazily grown, hence
-  /// mutable — FindPotentialTrustees is logically const.
+  /// mutable — FindPotentialTrustees is logically const. Frozen (no
+  /// growth, asserted) once sealed_ is set.
   mutable std::unique_ptr<TaskCaches> caches_;
+  bool sealed_ = false;
 };
 
 }  // namespace siot::trust

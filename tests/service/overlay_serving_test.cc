@@ -1,0 +1,488 @@
+// Copyright 2026 The siot-trust Authors.
+// The follower-served transitive read path, service layer.
+//
+// What is proven here:
+//
+//   * single-node TrustService: enable → rebuild → query answers exactly
+//     match a live-overlay TransitivitySearch over the same engines, and
+//     the Status boundary rejects everything it should (unconfigured,
+//     unbuilt, out-of-graph trustor, unknown task, task registered after
+//     the snapshot — until the next rebuild picks it up);
+//   * batch queries validate up front and reject atomically;
+//   * a persistent leader stamps snapshots with its WAL positions;
+//   * PROPERTY: under random write schedules and 1/2/8 shards, a
+//     follower-built snapshot at applied_seq vector V serializes
+//     byte-identically to a snapshot built from a single-threaded
+//     reference engine fed the same ops (the sharded, replicated,
+//     concurrently-tailed pipeline must change nothing);
+//   * RACE (the TSan suite): 4 leader writer threads, a background WAL
+//     tailer, a background snapshot rebuilder, and query threads all run
+//     against each other; served version vectors must stay per-shard
+//     monotone (a consistent cut can never go backwards), and the final
+//     quiesced snapshot must still be byte-identical to the reference.
+//     A rebuild that read per-shard applied_seq at different times
+//     instead of under one simultaneous all-shard lock hold fails this
+//     suite under TSan and the monotonicity check.
+
+#include "service/overlay_serving.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "service/replication.h"
+#include "service/trust_service.h"
+#include "trust/overlay_builder.h"
+#include "trust/transitivity.h"
+#include "trust/trust_engine.h"
+
+namespace siot::service {
+namespace {
+
+using trust::AgentId;
+using trust::TaskId;
+
+constexpr std::chrono::milliseconds kAwaitTimeout{10000};
+
+std::shared_ptr<const graph::Graph> RingGraph(AgentId agents) {
+  graph::GraphBuilder builder(agents);
+  for (AgentId t = 0; t < agents; ++t) {
+    for (AgentId d = 1; d <= 3; ++d) {
+      builder.AddEdge(t, (t + d) % agents);
+    }
+  }
+  return std::make_shared<graph::Graph>(builder.Build());
+}
+
+TrustServiceConfig MakeConfig(std::size_t shards) {
+  TrustServiceConfig config;
+  config.shard_count = shards;
+  config.engine.beta = trust::ForgettingFactors::Uniform(0.2);
+  config.engine.initial_estimates = {0.5, 0.5, 0.5, 0.5};
+  return config;
+}
+
+trust::TransitivityParams Params() {
+  trust::TransitivityParams params;
+  params.omega1 = 0.5;
+  params.omega2 = 0.0;
+  params.max_hops = 4;
+  return params;
+}
+
+std::string MakeTestDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "siot_overlay_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Deterministic reports for agents [0, agents), trustees within the
+/// ring graph's neighborhood, varied by `round`.
+std::vector<OutcomeReport> MakeBatch(AgentId agents, TaskId tasks,
+                                     std::uint64_t round) {
+  std::vector<OutcomeReport> reports;
+  for (AgentId t = 0; t < agents; ++t) {
+    OutcomeReport report;
+    report.trustor = t;
+    report.trustee = (t + 1 + (t + round) % 3) % agents;
+    report.task = static_cast<TaskId>((t + round) % tasks);
+    report.outcome.success = (t + round) % 3 != 0;
+    report.outcome.gain = report.outcome.success ? 0.8 : 0.0;
+    report.outcome.damage = report.outcome.success ? 0.0 : 0.4;
+    report.outcome.cost = 0.1;
+    report.trustor_was_abusive = (t + round) % 11 == 0;
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+void ApplyToEngine(trust::TrustEngine& engine,
+                   const std::vector<OutcomeReport>& reports) {
+  for (const OutcomeReport& report : reports) {
+    engine.ReportOutcome(report.trustor, report.trustee, report.task,
+                         report.outcome, report.trustor_was_abusive);
+  }
+}
+
+void RegisterTasks(TaskId tasks, TrustService* service,
+                   trust::TrustEngine* reference) {
+  for (TaskId j = 0; j < tasks; ++j) {
+    const std::string name = "task" + std::to_string(j);
+    const std::vector<trust::CharacteristicId> chars = {
+        static_cast<trust::CharacteristicId>(j % 2),
+        static_cast<trust::CharacteristicId>(2 + j % 2)};
+    if (service != nullptr) {
+      const auto id = service->RegisterTask(name, chars);
+      ASSERT_TRUE(id.ok());
+      ASSERT_EQ(id.value(), j);
+    }
+    if (reference != nullptr) {
+      const auto id = reference->catalog().AddUniform(name, chars);
+      ASSERT_TRUE(id.ok());
+      ASSERT_EQ(id.value(), j);
+    }
+  }
+}
+
+// ------------------------------------------------- single-node service --
+
+TEST(OverlayServingTest, SingleNodeQueriesMatchLiveSearch) {
+  constexpr AgentId kAgents = 32;
+  constexpr TaskId kTasks = 3;
+  TrustService service(MakeConfig(4));
+  trust::TrustEngine reference(MakeConfig(1).engine);
+  RegisterTasks(kTasks, &service, &reference);
+
+  const auto graph = RingGraph(kAgents);
+  ASSERT_TRUE(service.EnableTransitiveServing(graph, Params()).ok());
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    const auto batch = MakeBatch(kAgents, kTasks, round);
+    ASSERT_TRUE(service.BatchReportOutcome(batch).ok());
+    ApplyToEngine(reference, batch);
+  }
+  ASSERT_TRUE(service.RebuildOverlaySnapshot().ok());
+
+  const trust::StoreTrustOverlay live_overlay(reference.store(),
+                                              reference.normalizer());
+  const trust::TransitivitySearch live(*graph, reference.catalog(),
+                                       live_overlay, Params());
+  for (const trust::TransitivityMethod method :
+       {trust::TransitivityMethod::kTraditional,
+        trust::TransitivityMethod::kConservative,
+        trust::TransitivityMethod::kAggressive}) {
+    for (AgentId trustor = 0; trustor < kAgents; trustor += 3) {
+      for (TaskId task = 0; task < kTasks; ++task) {
+        TransitiveTrustRequest request;
+        request.trustor = trustor;
+        request.task = task;
+        request.method = method;
+        const auto answer = service.TransitiveTrust(request);
+        ASSERT_TRUE(answer.ok());
+        const auto want = live.FindPotentialTrustees(
+            trustor, reference.catalog().Get(task), method);
+        ASSERT_EQ(answer.value().result.trustees.size(),
+                  want.trustees.size());
+        for (std::size_t i = 0; i < want.trustees.size(); ++i) {
+          EXPECT_EQ(answer.value().result.trustees[i].agent,
+                    want.trustees[i].agent);
+          EXPECT_EQ(answer.value().result.trustees[i].trustworthiness,
+                    want.trustees[i].trustworthiness);
+        }
+      }
+    }
+  }
+  // Non-persistent shards have no WAL: the version vector is all zeros,
+  // one entry per shard.
+  const OverlaySnapshotInfo info = service.OverlayInfo();
+  EXPECT_TRUE(info.built);
+  EXPECT_EQ(info.version.applied_seq, std::vector<std::uint64_t>(4, 0));
+  EXPECT_EQ(info.prepared_tasks, kTasks);
+  EXPECT_EQ(info.node_count, kAgents);
+}
+
+TEST(OverlayServingTest, StatusBoundary) {
+  constexpr AgentId kAgents = 16;
+  TrustService service(MakeConfig(2));
+  trust::TrustEngine reference(MakeConfig(1).engine);
+  RegisterTasks(2, &service, nullptr);
+
+  TransitiveTrustRequest request;
+  request.trustor = 0;
+  request.task = 0;
+
+  // Before Configure: both rebuild and query refuse.
+  EXPECT_EQ(service.RebuildOverlaySnapshot().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.TransitiveTrust(request).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  const auto graph = RingGraph(kAgents);
+  ASSERT_TRUE(service.EnableTransitiveServing(graph, Params()).ok());
+  // Enabled but not built yet.
+  EXPECT_EQ(service.TransitiveTrust(request).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Double-enable refused.
+  EXPECT_EQ(service.EnableTransitiveServing(graph, Params()).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(service.BatchReportOutcome(MakeBatch(kAgents, 2, 0)).ok());
+  ASSERT_TRUE(service.RebuildOverlaySnapshot().ok());
+  EXPECT_TRUE(service.TransitiveTrust(request).ok());
+
+  // Trustor outside the graph.
+  TransitiveTrustRequest outside;
+  outside.trustor = kAgents + 5;
+  outside.task = 0;
+  EXPECT_EQ(service.TransitiveTrust(outside).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A task registered AFTER the snapshot stays invalid until a rebuild
+  // publishes a catalog that holds it: staleness is an error, not a
+  // crash into unprepared caches.
+  const auto late = service.RegisterTask("late", {0});
+  ASSERT_TRUE(late.ok());
+  TransitiveTrustRequest stale;
+  stale.trustor = 0;
+  stale.task = late.value();
+  EXPECT_EQ(service.TransitiveTrust(stale).status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(service.RebuildOverlaySnapshot().ok());
+  EXPECT_TRUE(service.TransitiveTrust(stale).ok());
+}
+
+TEST(OverlayServingTest, BatchRejectsAtomically) {
+  constexpr AgentId kAgents = 16;
+  TrustService service(MakeConfig(2));
+  RegisterTasks(2, &service, nullptr);
+  ASSERT_TRUE(
+      service.EnableTransitiveServing(RingGraph(kAgents), Params()).ok());
+  ASSERT_TRUE(service.BatchReportOutcome(MakeBatch(kAgents, 2, 0)).ok());
+  ASSERT_TRUE(service.RebuildOverlaySnapshot().ok());
+
+  std::vector<TransitiveTrustRequest> batch(3);
+  batch[0].trustor = 0;
+  batch[0].task = 0;
+  batch[1].trustor = kAgents + 1;  // invalid
+  batch[1].task = 0;
+  batch[2].trustor = 1;
+  batch[2].task = 1;
+  const auto result = service.BatchTransitiveTrust(batch);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("request 1"), std::string::npos)
+      << result.status().message();
+
+  batch[1].trustor = 2;
+  const auto fixed = service.BatchTransitiveTrust(batch);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(fixed.value().size(), 3u);
+  // All three answered from ONE snapshot: identical version stamps.
+  EXPECT_TRUE(fixed.value()[0].version == fixed.value()[1].version);
+  EXPECT_TRUE(fixed.value()[1].version == fixed.value()[2].version);
+}
+
+TEST(OverlayServingTest, PersistentLeaderStampsWalPositions) {
+  constexpr AgentId kAgents = 16;
+  const std::string dir = MakeTestDir("stamp");
+  const TrustServiceConfig config = MakeConfig(4);
+  PersistenceOptions options;
+  options.directory = dir;
+  auto service = TrustService::Open(config, options).value();
+  RegisterTasks(2, service.get(), nullptr);
+  ASSERT_TRUE(
+      service->EnableTransitiveServing(RingGraph(kAgents), Params()).ok());
+  ASSERT_TRUE(service->BatchReportOutcome(MakeBatch(kAgents, 2, 0)).ok());
+  ASSERT_TRUE(service->RebuildOverlaySnapshot().ok());
+
+  const std::vector<ShardWalPosition> positions = service->WalPositions();
+  const OverlaySnapshotInfo info = service->OverlayInfo();
+  ASSERT_EQ(info.version.applied_seq.size(), positions.size());
+  for (std::size_t s = 0; s < positions.size(); ++s) {
+    EXPECT_EQ(info.version.applied_seq[s], positions[s].last_seq)
+        << "shard " << s;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------ property suite --
+
+/// Follower snapshot at version V must serialize byte-identically to a
+/// reference snapshot built from one unsharded engine replayed to V.
+void RunEquivalenceSchedule(std::size_t shards, std::uint64_t seed) {
+  constexpr AgentId kAgents = 24;
+  constexpr TaskId kTasks = 3;
+  const std::string dir =
+      MakeTestDir("prop_" + std::to_string(shards) + "_" +
+                  std::to_string(seed));
+  const TrustServiceConfig config = MakeConfig(shards);
+  PersistenceOptions options;
+  options.directory = dir;
+  options.checkpoint_every_appends = 16;  // exercise truncation mid-run
+  auto leader = TrustService::Open(config, options).value();
+  trust::TrustEngine reference(config.engine);
+  RegisterTasks(kTasks, leader.get(), &reference);
+
+  const auto graph = RingGraph(kAgents);
+  ReplicaOptions replica_options;
+  replica_options.directory = dir;
+  replica_options.overlay_graph = graph;
+  replica_options.transitivity = Params();
+  auto replica = ReplicaService::Open(config, replica_options).value();
+
+  Rng rng(seed);
+  const std::size_t rounds = 3 + static_cast<std::size_t>(
+                                     rng.UniformInt(0, 2));
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    // Random-size slice of a deterministic batch: schedules differ by
+    // seed, the reference sees the identical ops.
+    auto batch = MakeBatch(kAgents, kTasks, round * 31 + seed);
+    batch.resize(static_cast<std::size_t>(
+        rng.UniformInt(1, static_cast<std::int64_t>(batch.size()))));
+    ASSERT_TRUE(leader->BatchReportOutcome(batch).ok());
+    ApplyToEngine(reference, batch);
+
+    const std::vector<ShardWalPosition> positions = leader->WalPositions();
+    ASSERT_TRUE(replica->AwaitPositions(positions, kAwaitTimeout).ok());
+    ASSERT_TRUE(replica->BuildOverlaySnapshot().ok());
+
+    trust::SnapshotVersion version;
+    for (const ShardWalPosition& position : positions) {
+      version.applied_seq.push_back(position.last_seq);
+    }
+    const auto follower_snapshot = replica->CurrentOverlaySnapshot();
+    ASSERT_NE(follower_snapshot, nullptr);
+    ASSERT_TRUE(follower_snapshot->version() == version)
+        << "follower quiesced at the leader's positions, so the frozen "
+           "vector must equal them";
+    const trust::StoreTrustOverlay reference_overlay(
+        reference.store(), reference.normalizer());
+    const trust::VersionedOverlaySnapshot reference_snapshot(
+        graph, reference.catalog(), reference_overlay, version);
+    EXPECT_EQ(trust::SerializeOverlaySnapshot(*follower_snapshot),
+              trust::SerializeOverlaySnapshot(reference_snapshot))
+        << "shards=" << shards << " seed=" << seed << " round=" << round;
+  }
+  replica.reset();
+  leader.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OverlayEquivalencePropertyTest, FollowerSnapshotMatchesReference) {
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      RunEquivalenceSchedule(shards, seed);
+    }
+  }
+}
+
+// ----------------------------------------------------------- race suite --
+
+// Satellite bug under test: a rebuild that reads each shard's
+// applied_seq at a different time can stamp a version vector no single
+// moment was in (the tailer applies admin ops shard 0 first, data ops
+// per shard). Freezing ALL shard read locks simultaneously is the fix;
+// this suite races everything against everything to let TSan see any
+// unlocked overlap, and checks served versions never regress.
+TEST(OverlayRaceTest, WritersTailerRebuilderAndQueriesRace) {
+  constexpr AgentId kAgents = 32;
+  constexpr TaskId kTasks = 2;
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kBatchesPerWriter = 12;
+
+  const std::string dir = MakeTestDir("race");
+  const TrustServiceConfig config = MakeConfig(kShards);
+  PersistenceOptions options;
+  options.directory = dir;
+  options.checkpoint_every_appends = 32;
+  auto leader = TrustService::Open(config, options).value();
+  trust::TrustEngine reference(config.engine);
+  RegisterTasks(kTasks, leader.get(), &reference);
+
+  const auto graph = RingGraph(kAgents);
+  ReplicaOptions replica_options;
+  replica_options.directory = dir;
+  replica_options.poll_period = std::chrono::milliseconds(1);
+  replica_options.overlay_graph = graph;
+  replica_options.transitivity = Params();
+  replica_options.snapshot_rebuild_period = std::chrono::milliseconds(2);
+  auto replica = ReplicaService::Open(config, replica_options).value();
+
+  // Writer w owns trustors with t % kWriters == w: per-trustor op order
+  // is each writer's program order, so the reference can replay
+  // writer-by-writer afterwards.
+  std::vector<std::vector<OutcomeReport>> per_writer(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    for (std::uint64_t round = 0; round < kBatchesPerWriter; ++round) {
+      for (const OutcomeReport& report :
+           MakeBatch(kAgents, kTasks, round * 7 + w)) {
+        if (report.trustor % kWriters == w) {
+          per_writer[w].push_back(report);
+        }
+      }
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (const OutcomeReport& report : per_writer[w]) {
+        ASSERT_TRUE(leader->ReportOutcome(report).ok());
+      }
+    });
+  }
+
+  // Query threads: hammer the served path while snapshots swap under
+  // them; served version vectors must be per-shard monotone.
+  std::vector<std::thread> readers;
+  std::atomic<bool> monotone{true};
+  for (std::size_t r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<std::uint64_t> last(kShards, 0);
+      TransitiveTrustRequest request;
+      request.trustor = static_cast<AgentId>(r);
+      request.task = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto answer = replica->TransitiveTrust(request);
+        if (!answer.ok()) continue;  // no snapshot yet
+        const auto& seq = answer.value().version.applied_seq;
+        if (seq.size() != kShards) {
+          monotone.store(false, std::memory_order_release);
+          break;
+        }
+        for (std::size_t s = 0; s < kShards; ++s) {
+          if (seq[s] < last[s]) {
+            monotone.store(false, std::memory_order_release);
+          }
+          last[s] = seq[s];
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (std::thread& writer : writers) writer.join();
+  const std::vector<ShardWalPosition> positions = leader->WalPositions();
+  ASSERT_TRUE(replica->AwaitPositions(positions, kAwaitTimeout).ok());
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_TRUE(monotone.load()) << "a served version vector regressed — "
+                                  "the rebuild cut is not consistent";
+
+  // Quiesced: one final explicit rebuild must match the reference.
+  ASSERT_TRUE(replica->BuildOverlaySnapshot().ok());
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    ApplyToEngine(reference, per_writer[w]);
+  }
+  trust::SnapshotVersion version;
+  for (const ShardWalPosition& position : positions) {
+    version.applied_seq.push_back(position.last_seq);
+  }
+  const auto follower_snapshot = replica->CurrentOverlaySnapshot();
+  ASSERT_NE(follower_snapshot, nullptr);
+  ASSERT_TRUE(follower_snapshot->version() == version);
+  const trust::StoreTrustOverlay reference_overlay(reference.store(),
+                                                   reference.normalizer());
+  const trust::VersionedOverlaySnapshot reference_snapshot(
+      graph, reference.catalog(), reference_overlay, version);
+  EXPECT_EQ(trust::SerializeOverlaySnapshot(*follower_snapshot),
+            trust::SerializeOverlaySnapshot(reference_snapshot));
+
+  replica.reset();
+  leader.reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace siot::service

@@ -1,18 +1,33 @@
 #!/bin/sh
 # Smoke test for the siot_experiments CLI.
 #
-# Usage: siot_experiments_smoke.sh <binary> <config-file> [extra-args...]
+# Usage: siot_experiments_smoke.sh <binary> <config-file> [args...]
 #
 # Runs the binary with the given seed config (plus any extra CLI args) and
 # asserts that it exits 0 and prints a non-empty table (title, header,
-# separator, >=1 data row).
+# separator, >=1 data row). Arguments of the form expect=<regex> are
+# consumed by this script instead of being passed to the binary: each one
+# asserts that the output matches the extended regex, so a test can pin
+# down that specific metrics columns actually appear in the table.
 set -u
 
 binary="$1"
 config="$2"
 shift 2
 
-out="$("$binary" "config=$config" "$@" 2>&1)"
+# Split the remaining args into binary args and expect= assertions. The
+# binary args never contain whitespace (key=value / --key=value tokens),
+# so plain string accumulation is safe in POSIX sh.
+args=""
+for arg in "$@"; do
+  case "$arg" in
+    expect=*) ;;
+    *) args="$args $arg" ;;
+  esac
+done
+
+# shellcheck disable=SC2086 -- word splitting of $args is intentional.
+out="$("$binary" "config=$config" $args 2>&1)"
 status=$?
 if [ "$status" -ne 0 ]; then
   echo "FAIL: exit code $status" >&2
@@ -32,5 +47,18 @@ if ! printf '%s\n' "$out" | grep -q -- '---'; then
   echo "$out" >&2
   exit 1
 fi
+
+for arg in "$@"; do
+  case "$arg" in
+    expect=*)
+      pattern="${arg#expect=}"
+      if ! printf '%s\n' "$out" | grep -Eq -- "$pattern"; then
+        echo "FAIL: output does not match expected pattern: $pattern" >&2
+        echo "$out" >&2
+        exit 1
+      fi
+      ;;
+  esac
+done
 
 exit 0

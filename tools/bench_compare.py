@@ -34,7 +34,10 @@ def load_benchmarks(path):
         with open(path, "r", encoding="utf-8") as fp:
             doc = json.load(fp)
     except (OSError, ValueError) as err:
-        raise SystemExit(f"error: cannot parse {path}: {err}")
+        # Exit 2, per the contract above: callers treat "cannot even
+        # read the artifact" as a harder failure than a regression.
+        print(f"error: cannot parse {path}: {err}", file=sys.stderr)
+        raise SystemExit(2)
     entries = {}
     for entry in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repeated runs): the
@@ -44,7 +47,8 @@ def load_benchmarks(path):
             continue
         entries[entry["name"]] = entry
     if not entries:
-        raise SystemExit(f"error: {path} holds no benchmark entries")
+        print(f"error: {path} holds no benchmark entries", file=sys.stderr)
+        raise SystemExit(2)
     return entries
 
 

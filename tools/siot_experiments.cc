@@ -13,6 +13,7 @@
 //   siot_experiments experiment=serve shards=8 threads=4 rounds=2
 //   siot_experiments experiment=persist shards=4 rounds=3 fsync=1
 //   siot_experiments experiment=replicate shards=4 rounds=3
+//   siot_experiments experiment=transit_serve shards=4 rounds=3 tasks=3
 //   siot_experiments config=/path/to/file.cfg
 //
 // Prints the experiment's headline metrics as an aligned table and exits
@@ -21,6 +22,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -32,6 +34,7 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "graph/datasets.h"
+#include "graph/graph.h"
 #include "service/replication.h"
 #include "service/trust_service.h"
 #include "sim/delegation_results_experiment.h"
@@ -39,6 +42,9 @@
 #include "sim/mutuality_experiment.h"
 #include "sim/parallel_runner.h"
 #include "sim/transitivity_experiment.h"
+#include "trust/overlay_builder.h"
+#include "trust/transitivity.h"
+#include "trust/trust_engine.h"
 #include "trust/trust_store_io.h"
 
 namespace siot {
@@ -499,6 +505,19 @@ Status RunPersist(const Config& config) {
   return Status::OK();
 }
 
+// Deterministic social substrate for the service-level experiments: a
+// ring over the agents, each linked to its 3 successors — exactly the
+// candidate sets the replicate/persist workloads delegate over.
+std::shared_ptr<const graph::Graph> BuildRingGraph(trust::AgentId agents) {
+  graph::GraphBuilder builder(agents);
+  for (trust::AgentId t = 0; t < agents; ++t) {
+    for (trust::AgentId d = 1; d <= 3; ++d) {
+      builder.AddEdge(t, (t + d) % agents);
+    }
+  }
+  return std::make_shared<graph::Graph>(builder.Build());
+}
+
 // Replicate mode: a durable leader is driven through `rounds` rounds of
 // delegation + outcome batches while a WAL-tailing follower catches up
 // after each round; follower state must match the leader byte for byte
@@ -559,6 +578,11 @@ Status RunReplicate(const Config& config) {
   }
   service::ReplicaOptions replica_options;
   replica_options.directory = dir;
+  // Follower-served transitive reads ride along so the round summary can
+  // show snapshot staleness next to replication lag.
+  replica_options.overlay_graph = BuildRingGraph(agents);
+  replica_options.transitivity.max_hops = 4;
+  replica_options.transitivity.omega2 = 0.0;
   SIOT_ASSIGN_OR_RETURN(auto replica,
                         service::ReplicaService::Open(sc, replica_options));
 
@@ -610,8 +634,9 @@ Status RunReplicate(const Config& config) {
   TextTable table(StrFormat(
       "WAL-tailing replication smoke (%zu shards, %zu agents)", shards,
       static_cast<std::size_t>(agents)));
-  table.SetHeader(
-      {"round", "requests", "catch-up ms", "records", "follower identical"});
+  table.SetHeader({"round", "requests", "catch-up ms", "records",
+                   "seq lag", "byte lag", "snap age ms",
+                   "follower identical"});
   bool all_identical = true;
   for (std::size_t round = 0; round < rounds; ++round) {
     SIOT_ASSIGN_OR_RETURN(const std::size_t requests,
@@ -623,12 +648,28 @@ Status RunReplicate(const Config& config) {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
+    // Staleness evidence for both read paths: per-shard replication lag
+    // (summed) and the age of the follower-served overlay snapshot.
+    SIOT_RETURN_IF_ERROR(replica->BuildOverlaySnapshot());
+    std::uint64_t seq_lag = 0;
+    std::uint64_t byte_lag = 0;
+    for (const service::ShardReplicationLag& lag :
+         replica->ReplicationLag()) {
+      seq_lag += lag.seq_lag;
+      byte_lag += lag.byte_lag;
+    }
+    const service::OverlaySnapshotInfo overlay = replica->OverlayInfo();
     const bool identical = states_of(*leader) == states_of(*replica);
     all_identical = all_identical && identical;
-    table.AddRow({StrFormat("%zu", round), StrFormat("%zu", requests),
-                  FormatDouble(catch_up_ms, 2),
-                  StrFormat("%zu", replica->Stats().record_count),
-                  identical ? "yes" : "NO — BUG"});
+    table.AddRow(
+        {StrFormat("%zu", round), StrFormat("%zu", requests),
+         FormatDouble(catch_up_ms, 2),
+         StrFormat("%zu", replica->Stats().record_count),
+         StrFormat("%llu", static_cast<unsigned long long>(seq_lag)),
+         StrFormat("%llu", static_cast<unsigned long long>(byte_lag)),
+         StrFormat("%lld",
+                   static_cast<long long>(overlay.age.count())),
+         identical ? "yes" : "NO — BUG"});
   }
 
   // Failover: kill the leader, promote the follower, and prove the
@@ -647,8 +688,8 @@ Status RunReplicate(const Config& config) {
                         drive_round(promoted.get()));
   table.AddRow({"promote", StrFormat("%zu", post_requests),
                 FormatDouble(promote_ms, 2),
-                StrFormat("%zu", promoted->Stats().record_count),
-                promote_identical ? "yes" : "NO — BUG"});
+                StrFormat("%zu", promoted->Stats().record_count), "-", "-",
+                "-", promote_identical ? "yes" : "NO — BUG"});
   std::fputs(table.Render().c_str(), stdout);
   promoted.reset();
   if (!config.Has("dir")) std::filesystem::remove_all(dir);
@@ -658,6 +699,240 @@ Status RunReplicate(const Config& config) {
     return Status::Internal(
         "follower state diverged from the leader (or promote lost "
         "acknowledged writes)");
+  }
+  return Status::OK();
+}
+
+// Transit-serve mode: the follower-served transitive read path end to
+// end. A durable leader takes outcome batches; a WAL-tailing follower
+// catches up, freezes an overlay snapshot at the leader's exact WAL
+// positions, and serves transitive queries from it. Every round the
+// follower's snapshot is byte-compared against one built from a
+// single-threaded, unsharded reference engine driven with the identical
+// ops — the sharded/replicated/snapshot pipeline must change NOTHING —
+// and a batch of queries is answered both ways and compared
+// result-for-result. Divergence fails the process.
+Status RunTransitServe(const Config& config) {
+  const std::int64_t raw_shards = config.GetIntOr("shards", 4);
+  const std::int64_t raw_rounds = config.GetIntOr("rounds", 3);
+  const std::int64_t raw_agents = config.GetIntOr("agents", 64);
+  const std::int64_t raw_tasks = config.GetIntOr("tasks", 3);
+  const std::int64_t raw_chars = config.GetIntOr("characteristics", 4);
+  const std::int64_t raw_queries = config.GetIntOr("queries", 8);
+  if (raw_shards < 1 || raw_shards > 4096) {
+    return Status::InvalidArgument("shards out of range [1, 4096]");
+  }
+  if (raw_rounds < 1 || raw_rounds > 100000) {
+    return Status::InvalidArgument("rounds out of range [1, 100000]");
+  }
+  if (raw_agents < 4 || raw_agents > 1000000) {
+    return Status::InvalidArgument("agents out of range [4, 1000000]");
+  }
+  if (raw_tasks < 1 || raw_tasks > 64) {
+    return Status::InvalidArgument("tasks out of range [1, 64]");
+  }
+  if (raw_chars < 1 || raw_chars > 32) {
+    return Status::InvalidArgument("characteristics out of range [1, 32]");
+  }
+  if (raw_queries < 0 || raw_queries > 100000) {
+    return Status::InvalidArgument("queries out of range [0, 100000]");
+  }
+  const auto shards = static_cast<std::size_t>(raw_shards);
+  const auto rounds = static_cast<std::size_t>(raw_rounds);
+  const auto agents = static_cast<trust::AgentId>(raw_agents);
+  const auto task_count = static_cast<std::size_t>(raw_tasks);
+  const auto characteristic_count = static_cast<std::size_t>(raw_chars);
+  const auto queries = static_cast<std::size_t>(raw_queries);
+  const auto seed =
+      static_cast<std::uint64_t>(config.GetIntOr("seed", 2026));
+  const bool user_dir = config.Has("dir");
+  const std::string dir = config.GetStringOr(
+      "dir", (std::filesystem::temp_directory_path() /
+              ("siot_transit_" + std::to_string(seed)))
+                 .string());
+  if (user_dir && std::filesystem::exists(dir) &&
+      !std::filesystem::is_empty(dir)) {
+    if (!config.GetBoolOr("wipe", false)) {
+      return Status::InvalidArgument(
+          "dir=" + dir +
+          " already exists and is not empty; pass wipe=1 to let the "
+          "transit_serve experiment DELETE it and start fresh");
+    }
+    std::filesystem::remove_all(dir);
+  }
+  if (!user_dir) std::filesystem::remove_all(dir);
+
+  service::TrustServiceConfig sc;
+  sc.shard_count = shards;
+  sc.engine.beta = trust::ForgettingFactors::Uniform(0.2);
+  service::PersistenceOptions options;
+  options.directory = dir;
+  options.checkpoint_every_appends = static_cast<std::size_t>(
+      config.GetIntOr("checkpoint_every", 64));
+
+  trust::TransitivityParams params;
+  params.omega1 = config.GetDoubleOr("omega1", 0.5);
+  params.omega2 = config.GetDoubleOr("omega2", 0.0);
+  params.max_hops =
+      static_cast<std::size_t>(config.GetIntOr("max_hops", 4));
+
+  SIOT_ASSIGN_OR_RETURN(auto leader,
+                        service::TrustService::Open(sc, options));
+  // The oracle: one unsharded engine fed the identical op stream.
+  trust::TrustEngine reference(sc.engine);
+  for (std::size_t j = 0; j < task_count; ++j) {
+    std::vector<trust::CharacteristicId> chars = {
+        static_cast<trust::CharacteristicId>(j % characteristic_count)};
+    const auto second = static_cast<trust::CharacteristicId>(
+        (j + 1) % characteristic_count);
+    if (second != chars.front()) chars.push_back(second);
+    const std::string name = StrFormat("task%zu", j);
+    SIOT_ASSIGN_OR_RETURN(const trust::TaskId leader_id,
+                          leader->RegisterTask(name, chars));
+    SIOT_ASSIGN_OR_RETURN(const trust::TaskId reference_id,
+                          reference.catalog().AddUniform(name, chars));
+    SIOT_CHECK(leader_id == reference_id);
+  }
+
+  const std::shared_ptr<const graph::Graph> social = BuildRingGraph(agents);
+  service::ReplicaOptions replica_options;
+  replica_options.directory = dir;
+  replica_options.overlay_graph = social;
+  replica_options.transitivity = params;
+  SIOT_ASSIGN_OR_RETURN(auto replica,
+                        service::ReplicaService::Open(sc, replica_options));
+
+  std::vector<Rng> streams;
+  for (trust::AgentId t = 0; t < agents; ++t) {
+    streams.push_back(sim::DeriveStream(seed, t));
+  }
+  // One rng stream per trustor decides every op ONCE; the decisions are
+  // applied to leader and reference alike, so the two see the same
+  // per-pair op order — the invariant the byte comparison rests on.
+  const auto drive_round = [&]() -> StatusOr<std::size_t> {
+    std::vector<service::OutcomeReport> reports;
+    for (trust::AgentId t = 0; t < agents; ++t) {
+      Rng& rng = streams[t];
+      service::OutcomeReport report;
+      report.trustor = t;
+      report.trustee = static_cast<trust::AgentId>(
+          (t + 1 + static_cast<trust::AgentId>(rng.UniformInt(0, 2))) %
+          agents);
+      report.task = static_cast<trust::TaskId>(
+          rng.UniformInt(0, static_cast<std::int64_t>(task_count) - 1));
+      report.outcome.success = rng.Bernoulli(0.7);
+      report.outcome.gain = report.outcome.success ? 0.8 : 0.0;
+      report.outcome.damage = report.outcome.success ? 0.0 : 0.4;
+      report.outcome.cost = 0.1;
+      report.trustor_was_abusive = rng.Bernoulli(0.1);
+      reports.push_back(report);
+    }
+    SIOT_RETURN_IF_ERROR(leader->BatchReportOutcome(reports));
+    for (const service::OutcomeReport& report : reports) {
+      reference.ReportOutcome(report.trustor, report.trustee, report.task,
+                              report.outcome, report.trustor_was_abusive);
+    }
+    return reports.size();
+  };
+
+  Rng query_rng = sim::DeriveStream(seed, agents + 1);
+  constexpr trust::TransitivityMethod kMethods[] = {
+      trust::TransitivityMethod::kTraditional,
+      trust::TransitivityMethod::kConservative,
+      trust::TransitivityMethod::kAggressive,
+  };
+
+  TextTable table(StrFormat(
+      "Follower-served transitivity (%zu shards, %zu agents, %zu tasks)",
+      shards, static_cast<std::size_t>(agents), task_count));
+  table.SetHeader({"round", "ops", "catch-up ms", "assembly ms", "version",
+                   "queries", "snapshot+queries identical"});
+  bool all_identical = true;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    SIOT_ASSIGN_OR_RETURN(const std::size_t ops, drive_round());
+    const std::vector<service::ShardWalPosition> positions =
+        leader->WalPositions();
+    const auto start = std::chrono::steady_clock::now();
+    SIOT_RETURN_IF_ERROR(replica->AwaitPositions(
+        positions, std::chrono::milliseconds(10000)));
+    const double catch_up_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    SIOT_RETURN_IF_ERROR(replica->BuildOverlaySnapshot());
+
+    // The follower quiesced at the leader's exact WAL positions, so the
+    // snapshot's version vector must equal them — and the snapshot bytes
+    // must equal a reference build at that same version.
+    trust::SnapshotVersion version;
+    for (const service::ShardWalPosition& position : positions) {
+      version.applied_seq.push_back(position.last_seq);
+    }
+    const std::shared_ptr<const trust::VersionedOverlaySnapshot>
+        follower_snapshot = replica->CurrentOverlaySnapshot();
+    SIOT_CHECK(follower_snapshot != nullptr);
+    bool identical = follower_snapshot->version() == version;
+    const trust::StoreTrustOverlay reference_overlay(reference.store(),
+                                                     reference.normalizer());
+    const trust::VersionedOverlaySnapshot reference_snapshot(
+        social, reference.catalog(), reference_overlay, version);
+    identical = identical &&
+                trust::SerializeOverlaySnapshot(*follower_snapshot) ==
+                    trust::SerializeOverlaySnapshot(reference_snapshot);
+
+    // Query equivalence: the follower's sealed snapshot search against a
+    // live-overlay search over the reference engine, across all three
+    // §4.3 methods.
+    const trust::TransitivitySearch reference_search(
+        *social, reference.catalog(), reference_overlay, params);
+    for (std::size_t q = 0; q < queries; ++q) {
+      service::TransitiveTrustRequest request;
+      request.trustor = static_cast<trust::AgentId>(query_rng.UniformInt(
+          0, static_cast<std::int64_t>(agents) - 1));
+      request.task = static_cast<trust::TaskId>(query_rng.UniformInt(
+          0, static_cast<std::int64_t>(task_count) - 1));
+      request.method = kMethods[q % 3];
+      SIOT_ASSIGN_OR_RETURN(const service::TransitiveTrustResult answer,
+                            replica->TransitiveTrust(request));
+      identical = identical && answer.version == version;
+      const trust::TransitivityResult expected =
+          reference_search.FindPotentialTrustees(
+              request.trustor, reference.catalog().Get(request.task),
+              request.method);
+      if (answer.result.trustees.size() != expected.trustees.size()) {
+        identical = false;
+        continue;
+      }
+      for (std::size_t i = 0; i < expected.trustees.size(); ++i) {
+        const trust::PotentialTrustee& got = answer.result.trustees[i];
+        const trust::PotentialTrustee& want = expected.trustees[i];
+        if (got.agent != want.agent ||
+            got.trustworthiness != want.trustworthiness ||
+            got.per_characteristic != want.per_characteristic) {
+          identical = false;
+        }
+      }
+    }
+    all_identical = all_identical && identical;
+    const service::OverlaySnapshotInfo info = replica->OverlayInfo();
+    table.AddRow(
+        {StrFormat("%zu", round), StrFormat("%zu", ops),
+         FormatDouble(catch_up_ms, 2),
+         StrFormat("%lld",
+                   static_cast<long long>(info.last_assembly_cost.count())),
+         trust::FormatSnapshotVersion(version),
+         StrFormat("%zu", queries), identical ? "yes" : "NO — BUG"});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  replica.reset();
+  leader.reset();
+  if (!config.Has("dir")) std::filesystem::remove_all(dir);
+  // Divergence must fail the process (and the smoke_transit_serve CTest),
+  // not just print a sad table cell.
+  if (!all_identical) {
+    return Status::Internal(
+        "follower-served snapshot or query answers diverged from the "
+        "single-engine reference");
   }
   return Status::OK();
 }
@@ -698,10 +973,12 @@ Status Run(int argc, char** argv) {
   if (experiment == "serve") return RunServe(config);
   if (experiment == "persist") return RunPersist(config);
   if (experiment == "replicate") return RunReplicate(config);
+  if (experiment == "transit_serve") return RunTransitServe(config);
   return Status::InvalidArgument(
       "usage: siot_experiments experiment=<mutuality|transitivity|"
-      "delegation|environment|serve|persist|replicate> [network=...] "
-      "[seed=...] [--threads=N] [key=value...] [config=<file>]");
+      "delegation|environment|serve|persist|replicate|transit_serve> "
+      "[network=...] [seed=...] [--threads=N] [key=value...] "
+      "[config=<file>]");
 }
 
 }  // namespace
