@@ -12,13 +12,13 @@
 #include <chrono>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "service/persistence.h"
 #include "service/trust_service.h"
 #include "service/wal_codec.h"
@@ -256,12 +256,12 @@ BENCHMARK(BM_WalReplayCodec)
 class SerializedFlushDevice {
  public:
   void Commit() {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const siot::MutexLock guard(&mutex_);
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 
  private:
-  std::mutex mutex_;
+  siot::Mutex mutex_;
 };
 SerializedFlushDevice& FlushDevice() {
   static SerializedFlushDevice device;

@@ -27,7 +27,7 @@ Status OverlaySnapshotIndex::Configure(
   if (graph->node_count() == 0) {
     return Status::InvalidArgument("transitive serving graph is empty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   if (enabled_) {
     return Status::FailedPrecondition("transitive serving already enabled");
   }
@@ -38,12 +38,12 @@ Status OverlaySnapshotIndex::Configure(
 }
 
 bool OverlaySnapshotIndex::enabled() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return enabled_;
 }
 
 std::shared_ptr<const graph::Graph> OverlaySnapshotIndex::graph() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return graph_;
 }
 
@@ -56,7 +56,7 @@ Status OverlaySnapshotIndex::Publish(
   }
   trust::TransitivityParams params;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     if (!enabled_) {
       return Status::FailedPrecondition(
           "transitive serving not enabled (no Configure)");
@@ -83,7 +83,7 @@ Status OverlaySnapshotIndex::Publish(
   prepared->published_at = std::chrono::steady_clock::now();
   prepared->prepared_tasks = tasks.size();
   prepared->assembly_cost = assembly_cost;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   current_ = std::move(prepared);
   ++rebuild_count_;
   return Status::OK();
@@ -91,7 +91,7 @@ Status OverlaySnapshotIndex::Publish(
 
 std::shared_ptr<const OverlaySnapshotIndex::Prepared>
 OverlaySnapshotIndex::Current() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   return current_;
 }
 
@@ -176,7 +176,7 @@ OverlaySnapshotInfo OverlaySnapshotIndex::Info() const {
   OverlaySnapshotInfo info;
   std::shared_ptr<const Prepared> prepared;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     prepared = current_;
     info.rebuild_count = rebuild_count_;
   }

@@ -24,11 +24,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "trust/overlay_builder.h"
 #include "trust/transitivity.h"
@@ -137,12 +138,15 @@ class OverlaySnapshotIndex {
   TransitiveTrustResult Answer(const Prepared& prepared,
                                const TransitiveTrustRequest& request) const;
 
-  mutable std::mutex mutex_;  ///< Guards the fields below (not queries).
-  std::shared_ptr<const graph::Graph> graph_;
-  trust::TransitivityParams params_;
-  bool enabled_ = false;
-  std::shared_ptr<const Prepared> current_;
-  std::uint64_t rebuild_count_ = 0;
+  /// Guards the fields below (not queries — those run on the immutable
+  /// Prepared they pulled out under this lock). Leaf lock: held for
+  /// pointer swaps only, never across a build or a query.
+  mutable Mutex mutex_;
+  std::shared_ptr<const graph::Graph> graph_ SIOT_GUARDED_BY(mutex_);
+  trust::TransitivityParams params_ SIOT_GUARDED_BY(mutex_);
+  bool enabled_ SIOT_GUARDED_BY(mutex_) = false;
+  std::shared_ptr<const Prepared> current_ SIOT_GUARDED_BY(mutex_);
+  std::uint64_t rebuild_count_ SIOT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace siot::service

@@ -378,7 +378,7 @@ Status GroupCommitter::Sync(std::span<const int> fds, const FaultHook& hook,
                             std::size_t shard) {
   if (fds.empty()) return Status::OK();
   sync_requests_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!failure_.ok()) return failure_;
   const std::uint64_t my_round = round_;
   pending_fds_.insert(pending_fds_.end(), fds.begin(), fds.end());
@@ -388,7 +388,7 @@ Status GroupCommitter::Sync(std::span<const int> fds, const FaultHook& hook,
     // must not wait on it forever), so "my round was flushed past" is
     // not the same as "my bytes are durable" — only a round before the
     // first failed one really hit the platter.
-    cv_.wait(lock, [&] { return flushed_ > my_round || !failure_.ok(); });
+    while (flushed_ <= my_round && failure_.ok()) cv_.Wait(mutex_);
     if (my_round >= failed_round_) return failure_;
     return Status::OK();
   }
@@ -399,23 +399,26 @@ Status GroupCommitter::Sync(std::span<const int> fds, const FaultHook& hook,
   // can form meanwhile.
   leader_active_ = true;
   if (window_.count() > 0) {
-    cv_.wait_for(lock, window_, [&] { return !failure_.ok(); });
+    const auto deadline = std::chrono::steady_clock::now() + window_;
+    while (failure_.ok()) {
+      if (!cv_.WaitUntil(mutex_, deadline)) break;
+    }
   }
-  cv_.wait(lock, [&] { return flushed_ == my_round || !failure_.ok(); });
+  while (flushed_ != my_round && failure_.ok()) cv_.Wait(mutex_);
   if (!failure_.ok()) {
     leader_active_ = false;
-    cv_.notify_all();
+    cv_.NotifyAll();
     return failure_;
   }
   const std::vector<int> round_fds = std::move(pending_fds_);
   pending_fds_.clear();
   round_ = my_round + 1;
   leader_active_ = false;
-  lock.unlock();
+  lock.Unlock();
   Status flush = Fire(hook, PersistStage::kGroupCommitFlush, shard);
   if (flush.ok()) flush = FlushRound(round_fds);
   flushes_.fetch_add(1, std::memory_order_relaxed);
-  lock.lock();
+  lock.Lock();
   if (!flush.ok() && failure_.ok()) {
     // Every writer coalesced into this flush — and every later caller —
     // gets the SAME degradation: their appended frames' durability is
@@ -428,7 +431,7 @@ Status GroupCommitter::Sync(std::span<const int> fds, const FaultHook& hook,
     failed_round_ = my_round;
   }
   flushed_ = my_round + 1;
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (!failure_.ok()) return failure_;
   return Status::OK();
 }

@@ -52,16 +52,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "service/wal_codec.h"
 #include "trust/trust_engine.h"
 
@@ -254,21 +254,26 @@ class GroupCommitter {
 
  private:
   const std::chrono::microseconds window_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  /// Round-state capability. Leaf lock: the leader RELEASES it around the
+  /// actual filesystem flush, and no other siot lock is ever taken under
+  /// it (callers hold their shard locks ABOVE it).
+  Mutex mutex_;
+  CondVar cv_;
   /// Round currently accepting enrollees; closes when its leader takes
   /// the pending set.
-  std::uint64_t round_ = 0;
+  std::uint64_t round_ SIOT_GUARDED_BY(mutex_) = 0;
   /// Rounds whose flush completed: round r's enrollees are durable once
   /// flushed_ > r.
-  std::uint64_t flushed_ = 0;
-  bool leader_active_ = false;
-  std::vector<int> pending_fds_;
-  Status failure_;  ///< Sticky first flush failure.
+  std::uint64_t flushed_ SIOT_GUARDED_BY(mutex_) = 0;
+  bool leader_active_ SIOT_GUARDED_BY(mutex_) = false;
+  std::vector<int> pending_fds_ SIOT_GUARDED_BY(mutex_);
+  /// Sticky first flush failure.
+  Status failure_ SIOT_GUARDED_BY(mutex_);
   /// Round of the first failed flush (none yet = max). Rounds before it
   /// flushed durably; every round from it on reports `failure_` — the
   /// exact blast radius of a failed group flush.
-  std::uint64_t failed_round_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t failed_round_ SIOT_GUARDED_BY(mutex_) =
+      std::numeric_limits<std::uint64_t>::max();
   std::atomic<std::uint64_t> sync_requests_{0};
   std::atomic<std::uint64_t> flushes_{0};
 };

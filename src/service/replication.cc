@@ -67,7 +67,12 @@ ReplicaService::ReplicaService(const TrustServiceConfig& config,
   shards_.reserve(config_.shard_count);
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
     auto shard = std::make_unique<ReplicaShard>();
-    shard->engine = std::make_unique<trust::TrustEngine>(config_.engine);
+    {
+      // Pre-concurrency, but the guarded write stays provable (and the
+      // lock is uncontended here).
+      const WriterLock lock(&shard->mutex);
+      shard->engine = std::make_unique<trust::TrustEngine>(config_.engine);
+    }
     shard->wal_path = ShardWalPath(options_.directory, s);
     shard->checkpoint_path = ShardCheckpointPath(options_.directory, s);
     shards_.push_back(std::move(shard));
@@ -77,8 +82,12 @@ ReplicaService::ReplicaService(const TrustServiceConfig& config,
 ReplicaService::~ReplicaService() {
   StopRebuildThread();
   StopPollThread();
-  for (const auto& shard : shards_) {
-    if (shard->fd >= 0) ::close(shard->fd);
+  // Both background threads are joined; the locks below are uncontended
+  // and keep the guarded fd reads provable.
+  for (const auto& shard_ptr : shards_) {
+    ReplicaShard& shard = *shard_ptr;
+    const WriterLock lock(&shard.mutex);
+    if (shard.fd >= 0) ::close(shard.fd);
   }
 }
 
@@ -110,6 +119,7 @@ StatusOr<std::unique_ptr<ReplicaService>> ReplicaService::Open(
   for (auto& shard_ptr : replica->shards_) {
     ReplicaShard& shard = *shard_ptr;
     if (!FileExists(shard.checkpoint_path)) continue;
+    const WriterLock lock(&shard.mutex);
     SIOT_RETURN_IF_ERROR(replica->RewindLocked(
         shard, /*require_newer=*/false, "initial checkpoint restore"));
   }
@@ -326,16 +336,18 @@ StatusOr<std::size_t> ReplicaService::PollShardLocked(ReplicaShard& shard) {
 StatusOr<std::size_t> ReplicaService::PollAll() {
   SIOT_RETURN_IF_ERROR(CheckServing());
   {
-    std::lock_guard<std::mutex> lock(poll_mutex_);
+    const MutexLock lock(&poll_mutex_);
     if (!tail_status_.ok()) return tail_status_;
   }
   std::size_t total = 0;
   for (const auto& shard_ptr : shards_) {
     ReplicaShard& shard = *shard_ptr;
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    const WriterLock lock(&shard.mutex);
     const auto polled = PollShardLocked(shard);
     if (!polled.ok()) {
-      std::lock_guard<std::mutex> g(poll_mutex_);
+      // poll_mutex_ nests UNDER the shard lock here — shard.mutex is
+      // rank 2, poll_mutex_ rank 3 (see the member's comment).
+      const MutexLock g(&poll_mutex_);
       if (tail_status_.ok()) tail_status_ = polled.status();
       return polled.status();
     }
@@ -367,7 +379,7 @@ Status ReplicaService::AwaitPositions(
                       target.shard, shards_.size()));
       }
       const ReplicaShard& shard = *shards_[target.shard];
-      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      const ReaderLock lock(&shard.mutex);
       if (shard.applied_seq < target.last_seq) {
         reached = false;
         break;
@@ -386,7 +398,7 @@ Status ReplicaService::AwaitPositions(
 }
 
 Status ReplicaService::TailStatus() const {
-  std::lock_guard<std::mutex> lock(poll_mutex_);
+  const MutexLock lock(&poll_mutex_);
   return tail_status_;
 }
 
@@ -395,7 +407,7 @@ std::vector<ShardReplicationLag> ReplicaService::ReplicationLag() const {
   lags.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const ReplicaShard& shard = *shards_[s];
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const ReaderLock lock(&shard.mutex);
     ShardReplicationLag lag;
     lag.shard = s;
     lag.applied_seq = shard.applied_seq;
@@ -440,6 +452,22 @@ std::vector<ShardReplicationLag> ReplicaService::ReplicationLag() const {
 
 // ----------------------------------------- transitive read surface --
 
+const trust::TrustEngine& ReplicaService::EngineOfShardAllLocked(
+    const ReplicaShard& shard) const {
+  // Provably held: only called under BuildOverlaySnapshot's
+  // MultiReaderLock, which holds every shard's shared lock. The dynamic
+  // lock set is opaque to the thread-safety analysis, so each access
+  // re-asserts the one capability it needs in straight-line code.
+  shard.mutex.AssertReaderHeld();
+  return *shard.engine;
+}
+
+std::uint64_t ReplicaService::AppliedSeqOfShardAllLocked(
+    const ReplicaShard& shard) const {
+  shard.mutex.AssertReaderHeld();
+  return shard.applied_seq;
+}
+
 Status ReplicaService::BuildOverlaySnapshot() {
   SIOT_RETURN_IF_ERROR(CheckServing());
   const std::shared_ptr<const graph::Graph> graph = overlay_.graph();
@@ -450,7 +478,7 @@ Status ReplicaService::BuildOverlaySnapshot() {
   }
   // One assembly at a time (owner-driven rebuilds can race the
   // background thread); queries are untouched by this mutex.
-  std::lock_guard<std::mutex> build_lock(build_mutex_);
+  const MutexLock build_lock(&build_mutex_);
   const auto assembly_start = std::chrono::steady_clock::now();
   std::shared_ptr<const trust::VersionedOverlaySnapshot> built;
   {
@@ -464,29 +492,34 @@ Status ReplicaService::BuildOverlaySnapshot() {
     // assembly (bounded extra staleness); the LEADER's shard locks are
     // never taken. Deadlock-free: the tailer and the read surface hold
     // at most one shard lock at a time, and acquisition here is in
-    // fixed index order.
-    std::vector<std::shared_lock<std::shared_mutex>> locks;
-    locks.reserve(shards_.size());
-    for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
+    // fixed index order (MultiReaderLock's class comment carries the
+    // full argument). Guarded reads under the dynamic lock set go
+    // through the *AllLocked helpers, which re-assert the one shard
+    // capability each access needs.
+    std::vector<SharedMutex*> mutexes;
+    mutexes.reserve(shards_.size());
+    for (const auto& shard : shards_) mutexes.push_back(&shard->mutex);
+    const MultiReaderLock all_shards(std::move(mutexes));
     std::vector<const trust::TrustStore*> stores;
     trust::SnapshotVersion version;
     stores.reserve(shards_.size());
     version.applied_seq.reserve(shards_.size());
     for (const auto& shard : shards_) {
-      stores.push_back(&shard->engine->store());
-      version.applied_seq.push_back(shard->applied_seq);
+      stores.push_back(&EngineOfShardAllLocked(*shard).store());
+      version.applied_seq.push_back(AppliedSeqOfShardAllLocked(*shard));
     }
     // Admin state replicates to shard 0 first, so its catalog is the
     // most complete; a task some other shard has not applied yet cannot
     // have records there either (registration precedes use in every
     // shard's WAL order).
     const trust::ShardedStoreOverlay source(
-        std::move(stores), shards_[0]->engine->normalizer(),
+        std::move(stores), EngineOfShardAllLocked(*shards_[0]).normalizer(),
         [count = shards_.size()](trust::AgentId trustor) {
           return ShardIndexForTrustor(trustor, count);
         });
     built = std::make_shared<trust::VersionedOverlaySnapshot>(
-        graph, shards_[0]->engine->catalog(), source, std::move(version));
+        graph, EngineOfShardAllLocked(*shards_[0]).catalog(), source,
+        std::move(version));
   }  // Locks drop here; hop-cache preparation below runs lock-free.
   const auto assembly_cost =
       std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -508,59 +541,76 @@ ReplicaService::BatchTransitiveTrust(
 }
 
 Status ReplicaService::OverlayRebuildStatus() const {
-  std::lock_guard<std::mutex> lock(rebuild_mutex_);
+  const MutexLock lock(&rebuild_mutex_);
   return rebuild_status_;
 }
 
 void ReplicaService::StartRebuildThread() {
   rebuild_thread_ = std::thread([this] {
-    std::unique_lock<std::mutex> lock(rebuild_mutex_);
-    while (!rebuild_stopping_) {
-      lock.unlock();
-      const Status built = BuildOverlaySnapshot();
-      lock.lock();
-      if (!built.ok()) {
-        // Keep serving the previous snapshot; record the failure for
-        // monitoring and keep trying (unlike a poisoned WAL tail, a
-        // rebuild failure is not necessarily permanent).
-        rebuild_status_ = built;
-        SIOT_LOG_WARN("overlay snapshot rebuild failed: %s",
-                      built.ToString().c_str());
-      } else {
-        rebuild_status_ = Status::OK();
+    for (;;) {
+      {
+        const MutexLock lock(&rebuild_mutex_);
+        if (rebuild_stopping_) return;
       }
-      rebuild_cv_.wait_for(lock, options_.snapshot_rebuild_period,
-                           [this] { return rebuild_stopping_; });
+      // The build runs with rebuild_mutex_ RELEASED: it takes
+      // build_mutex_ and every shard lock, both of which rank above it.
+      const Status built = BuildOverlaySnapshot();
+      {
+        MutexLock lock(&rebuild_mutex_);
+        if (!built.ok()) {
+          // Keep serving the previous snapshot; record the failure for
+          // monitoring and keep trying (unlike a poisoned WAL tail, a
+          // rebuild failure is not necessarily permanent).
+          rebuild_status_ = built;
+          SIOT_LOG_WARN("overlay snapshot rebuild failed: %s",
+                        built.ToString().c_str());
+        } else {
+          rebuild_status_ = Status::OK();
+        }
+        const auto deadline = std::chrono::steady_clock::now() +
+                              options_.snapshot_rebuild_period;
+        while (!rebuild_stopping_) {
+          if (!rebuild_cv_.WaitUntil(rebuild_mutex_, deadline)) break;
+        }
+        if (rebuild_stopping_) return;
+      }
     }
   });
 }
 
 void ReplicaService::StopRebuildThread() {
   {
-    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    const MutexLock lock(&rebuild_mutex_);
     rebuild_stopping_ = true;
   }
-  rebuild_cv_.notify_all();
+  rebuild_cv_.NotifyAll();
   if (rebuild_thread_.joinable()) rebuild_thread_.join();
 }
 
 void ReplicaService::StartPollThread() {
   poll_thread_ = std::thread([this] {
-    std::unique_lock<std::mutex> lock(poll_mutex_);
-    while (!stopping_) {
-      if (poll_cv_.wait_for(lock, options_.poll_period,
-                            [this] { return stopping_; })) {
-        break;
+    for (;;) {
+      {
+        // Deadline sleep, interruptible by StopPollThread; the predicate
+        // is hand-rolled so the analysis sees the guarded `stopping_`
+        // reads under the lock.
+        MutexLock lock(&poll_mutex_);
+        const auto deadline =
+            std::chrono::steady_clock::now() + options_.poll_period;
+        while (!stopping_) {
+          if (!poll_cv_.WaitUntil(poll_mutex_, deadline)) break;
+        }
+        if (stopping_) return;
       }
-      lock.unlock();
+      // PollAll runs with poll_mutex_ RELEASED: it takes shard locks,
+      // which rank above it.
       const auto polled = PollAll();
-      lock.lock();
       if (!polled.ok()) {
         // PollAll already made the status sticky; a poisoned tail will
         // never heal, so stop burning cycles. Reads keep serving.
         SIOT_LOG_WARN("replica tailing stopped: %s",
                       polled.status().ToString().c_str());
-        break;
+        return;
       }
     }
   });
@@ -568,10 +618,10 @@ void ReplicaService::StartPollThread() {
 
 void ReplicaService::StopPollThread() {
   {
-    std::lock_guard<std::mutex> lock(poll_mutex_);
+    const MutexLock lock(&poll_mutex_);
     stopping_ = true;
   }
-  poll_cv_.notify_all();
+  poll_cv_.NotifyAll();
   if (poll_thread_.joinable()) poll_thread_.join();
 }
 
@@ -597,7 +647,7 @@ StatusOr<double> ReplicaService::PreEvaluate(trust::AgentId trustor,
   pre_evaluations_.fetch_add(1, std::memory_order_relaxed);
   const ReplicaShard& shard =
       *shards_[ShardIndexForTrustor(trustor, shards_.size())];
-  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const ReaderLock lock(&shard.mutex);
   SIOT_RETURN_IF_ERROR(ValidateTaskLocked(shard, task));
   return shard.engine->PreEvaluate(trustor, trustee, task);
 }
@@ -612,7 +662,7 @@ StatusOr<trust::DelegationRequestResult> ReplicaService::RequestDelegation(
   delegation_requests_.fetch_add(1, std::memory_order_relaxed);
   const ReplicaShard& shard =
       *shards_[ShardIndexForTrustor(request.trustor, shards_.size())];
-  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const ReaderLock lock(&shard.mutex);
   SIOT_RETURN_IF_ERROR(ValidateTaskLocked(shard, request.task));
   return shard.engine->RequestDelegation(request.trustor, request.task,
                                          request.candidates,
@@ -636,7 +686,7 @@ StatusOr<std::vector<double>> ReplicaService::BatchPreEvaluate(
   for (std::size_t s = 0; s < buckets.size(); ++s) {
     if (buckets[s].empty()) continue;
     const ReplicaShard& shard = *shards_[s];
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const ReaderLock lock(&shard.mutex);
     for (const std::size_t i : buckets[s]) {
       SIOT_RETURN_IF_ERROR(ValidateTaskLocked(shard, requests[i].task));
       results[i] = shard.engine->PreEvaluate(
@@ -652,10 +702,11 @@ TrustServiceStats ReplicaService::Stats() const {
   stats.pre_evaluations = pre_evaluations_.load(std::memory_order_relaxed);
   stats.delegation_requests =
       delegation_requests_.load(std::memory_order_relaxed);
-  for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mutex);
-    stats.record_count += shard->engine->store().size();
-    stats.pair_count += shard->engine->store().pair_count();
+  for (const auto& shard_ptr : shards_) {
+    const ReplicaShard& shard = *shard_ptr;
+    const ReaderLock lock(&shard.mutex);
+    stats.record_count += shard.engine->store().size();
+    stats.pair_count += shard.engine->store().pair_count();
   }
   return stats;
 }

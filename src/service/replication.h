@@ -52,17 +52,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 #include "service/overlay_serving.h"
 #include "service/persistence.h"
@@ -223,7 +222,10 @@ class ReplicaService {
 
   /// Direct engine access for tests and offline inspection. NOT
   /// synchronized — the caller must guarantee no concurrent use.
-  const trust::TrustEngine& shard_engine(std::size_t shard) const {
+  /// Justified escape: the documented caller-synchronized test hook,
+  /// same contract as TrustService::shard_engine.
+  const trust::TrustEngine& shard_engine(std::size_t shard) const
+      SIOT_NO_THREAD_SAFETY_ANALYSIS {
     return *shards_[shard]->engine;
   }
 
@@ -258,42 +260,53 @@ class ReplicaService {
 
  private:
   struct ReplicaShard {
-    mutable std::shared_mutex mutex;
-    std::unique_ptr<trust::TrustEngine> engine;
-    std::string wal_path;
-    std::string checkpoint_path;
-    int fd = -1;  ///< Tailing descriptor (WAL inode survives truncation).
-    std::uint64_t read_offset = 0;   ///< Bytes consumed, frame-aligned.
-    std::uint64_t applied_seq = 0;   ///< Last op folded into `engine`.
-    std::uint64_t checkpoint_seq = 0;  ///< applied_seq of loaded ckpt.
-    bool checkpoint_loaded = false;
+    mutable SharedMutex mutex;
+    /// The tailer's exclusive-apply path mutates the pointee; RewindLocked
+    /// even reseats the pointer (checkpoint reload builds a fresh
+    /// engine), so the POINTER is guarded too, unlike the leader's.
+    std::unique_ptr<trust::TrustEngine> engine SIOT_GUARDED_BY(mutex);
+    std::string wal_path;         ///< Set once at construction.
+    std::string checkpoint_path;  ///< Set once at construction.
+    /// Tailing descriptor (WAL inode survives truncation).
+    int fd SIOT_GUARDED_BY(mutex) = -1;
+    /// Bytes consumed, frame-aligned.
+    std::uint64_t read_offset SIOT_GUARDED_BY(mutex) = 0;
+    /// Last op folded into `engine`.
+    std::uint64_t applied_seq SIOT_GUARDED_BY(mutex) = 0;
+    /// applied_seq of loaded ckpt.
+    std::uint64_t checkpoint_seq SIOT_GUARDED_BY(mutex) = 0;
+    bool checkpoint_loaded SIOT_GUARDED_BY(mutex) = false;
     /// Identity (inode + size) of the loaded checkpoint file. Every
     /// leader checkpoint atomically replaces the file with a fresh
     /// inode, so a cheap stat detects "a checkpoint happened" even when
     /// the truncated WAL ends exactly at our read offset and the byte
     /// stream alone shows nothing new.
-    std::uint64_t checkpoint_ino = 0;
-    std::uint64_t checkpoint_bytes = 0;
-    bool torn_pending = false;  ///< Last poll ended on a partial frame.
-    std::uint64_t wal_bytes_seen = 0;  ///< Size at last poll, for lag.
+    std::uint64_t checkpoint_ino SIOT_GUARDED_BY(mutex) = 0;
+    std::uint64_t checkpoint_bytes SIOT_GUARDED_BY(mutex) = 0;
+    /// Last poll ended on a partial frame.
+    bool torn_pending SIOT_GUARDED_BY(mutex) = false;
+    /// Size at last poll, for lag.
+    std::uint64_t wal_bytes_seen SIOT_GUARDED_BY(mutex) = 0;
   };
 
   ReplicaService(const TrustServiceConfig& config,
                  const ReplicaOptions& options);
 
   /// One tailing pass over one shard; caller holds the exclusive lock.
-  StatusOr<std::size_t> PollShardLocked(ReplicaShard& shard);
+  StatusOr<std::size_t> PollShardLocked(ReplicaShard& shard)
+      SIOT_REQUIRES(shard.mutex);
 
   /// Reloads the shard from the checkpoint on disk and rewinds the read
   /// offset to 0 (the truncation-race path). `require_newer` demands the
   /// checkpoint advanced past the one already loaded — the only way a
   /// decode failure is legitimately explained; otherwise it is corruption.
   Status RewindLocked(ReplicaShard& shard, bool require_newer,
-                      const std::string& why);
+                      const std::string& why) SIOT_REQUIRES(shard.mutex);
 
   /// True when the checkpoint file on disk is not the one this shard
   /// loaded (a leader checkpoint replaced it since).
-  bool CheckpointReplacedLocked(const ReplicaShard& shard) const;
+  bool CheckpointReplacedLocked(const ReplicaShard& shard) const
+      SIOT_REQUIRES_SHARED(shard.mutex);
 
   /// FailedPrecondition once Promote succeeded.
   Status CheckServing() const;
@@ -301,7 +314,16 @@ class ReplicaService {
   /// InvalidArgument unless `task` is registered in `shard`'s replicated
   /// catalog; caller holds at least a shared lock on the shard.
   Status ValidateTaskLocked(const ReplicaShard& shard,
-                            trust::TaskId task) const;
+                            trust::TaskId task) const
+      SIOT_REQUIRES_SHARED(shard.mutex);
+
+  /// Guarded reads used by BuildOverlaySnapshot, whose MultiReaderLock
+  /// holds EVERY shard's lock shared but as a dynamic set the analysis
+  /// cannot track; each helper re-asserts the one capability its access
+  /// needs (the assert-capability audit — see MultiReaderLock).
+  const trust::TrustEngine& EngineOfShardAllLocked(
+      const ReplicaShard& shard) const;
+  std::uint64_t AppliedSeqOfShardAllLocked(const ReplicaShard& shard) const;
 
   void StartPollThread();
   void StopPollThread();
@@ -314,17 +336,23 @@ class ReplicaService {
   /// Snapshot-backed transitive read path (overlay_graph option).
   OverlaySnapshotIndex overlay_;
   /// Serializes snapshot assemblies (owner-driven vs background thread).
-  std::mutex build_mutex_;
+  /// Lock rank 1 of 3: build_mutex_ → shard.mutex (ascending index) →
+  /// poll_mutex_. The shard tier is per-instance/dynamic, so only this
+  /// relation among the named members is expressible to the analysis.
+  Mutex build_mutex_ SIOT_ACQUIRED_BEFORE(rebuild_mutex_, poll_mutex_);
   std::thread rebuild_thread_;
-  mutable std::mutex rebuild_mutex_;
-  std::condition_variable rebuild_cv_;
-  bool rebuild_stopping_ = false;     ///< Guarded by rebuild_mutex_.
-  Status rebuild_status_;             ///< Guarded by rebuild_mutex_.
+  mutable Mutex rebuild_mutex_;
+  CondVar rebuild_cv_;
+  bool rebuild_stopping_ SIOT_GUARDED_BY(rebuild_mutex_) = false;
+  Status rebuild_status_ SIOT_GUARDED_BY(rebuild_mutex_);
   std::thread poll_thread_;
-  mutable std::mutex poll_mutex_;
-  std::condition_variable poll_cv_;
-  bool stopping_ = false;
-  Status tail_status_;  ///< Guarded by poll_mutex_; sticky.
+  /// Lock rank 3 of 3 (leaf): PollAll records a shard's poll failure
+  /// here while still holding that shard's lock; never the reverse.
+  mutable Mutex poll_mutex_;
+  CondVar poll_cv_;
+  bool stopping_ SIOT_GUARDED_BY(poll_mutex_) = false;
+  /// Sticky first tailer corruption.
+  Status tail_status_ SIOT_GUARDED_BY(poll_mutex_);
   std::atomic<bool> promoted_{false};
   mutable std::atomic<std::uint64_t> pre_evaluations_{0};
   mutable std::atomic<std::uint64_t> delegation_requests_{0};

@@ -18,10 +18,10 @@ ParallelRunner::ParallelRunner(std::size_t threads) {
 
 ParallelRunner::~ParallelRunner() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -38,7 +38,7 @@ void ParallelRunner::RunJob(Job& job, std::size_t worker_id) {
     try {
       (*job.body)(item, worker_id);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.error_mutex);
+      const MutexLock lock(&job.error_mutex);
       if (!job.error) job.error = std::current_exception();
       job.cancelled.store(true, std::memory_order_relaxed);
     }
@@ -50,20 +50,20 @@ void ParallelRunner::WorkerLoop(std::size_t worker_id) {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return stopping_ || job_serial_ != seen_serial;
-      });
+      MutexLock lock(&mutex_);
+      while (!stopping_ && job_serial_ == seen_serial) {
+        work_ready_.Wait(mutex_);
+      }
       if (stopping_) return;
       seen_serial = job_serial_;
       job = job_;
     }
     RunJob(*job, worker_id);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++job->workers_done;
+      const MutexLock lock(&mutex_);
+      ++workers_done_;
     }
-    work_done_.notify_one();
+    work_done_.NotifyOne();
   }
 }
 
@@ -78,22 +78,29 @@ void ParallelRunner::ForEach(
   job.count = count;
   job.body = &body;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     job_ = &job;
+    workers_done_ = 0;
     ++job_serial_;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   // The calling thread participates as worker 0. RunJob is noexcept in
   // effect (it parks body exceptions inside the job), so the drain below
   // always runs before `job` leaves scope.
   RunJob(job, 0);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_done_.wait(lock,
-                    [&] { return job.workers_done == workers_.size(); });
+    MutexLock lock(&mutex_);
+    while (workers_done_ != workers_.size()) work_done_.Wait(mutex_);
     job_ = nullptr;
   }
-  if (job.error) std::rethrow_exception(job.error);
+  // Every worker drained above, so this read is quiescent — but it takes
+  // the lock anyway: the guarantee should be provable, not argued.
+  std::exception_ptr error;
+  {
+    const MutexLock lock(&job.error_mutex);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace siot::sim

@@ -13,15 +13,15 @@
 #define SIOT_SIM_PARALLEL_RUNNER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace siot::sim {
 
@@ -69,21 +69,28 @@ class ParallelRunner {
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> cancelled{false};
-    std::size_t workers_done = 0;    ///< guarded by mutex_
-    std::exception_ptr error;        ///< first body exception; error_mutex
-    std::mutex error_mutex;
+    /// First body exception. Its lock lives here (not on the runner)
+    /// because the job is stack-allocated per ForEach and the error is
+    /// written from whichever worker's item threw first.
+    std::exception_ptr error SIOT_GUARDED_BY(error_mutex);
+    Mutex error_mutex;  ///< Leaf lock: nothing is acquired under it.
   };
 
   void WorkerLoop(std::size_t worker_id);
   static void RunJob(Job& job, std::size_t worker_id);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  Job* job_ = nullptr;             ///< guarded by mutex_
-  std::uint64_t job_serial_ = 0;   ///< guarded by mutex_
-  bool stopping_ = false;          ///< guarded by mutex_
+  /// Leaf lock: guards job hand-off only; never held while `body` runs.
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  Job* job_ SIOT_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t job_serial_ SIOT_GUARDED_BY(mutex_) = 0;
+  /// Pool threads finished with the current job. Lives on the runner
+  /// (not in Job) so the guarding relation is expressible: a nested
+  /// struct cannot name the enclosing runner's mutex_ in an attribute.
+  std::size_t workers_done_ SIOT_GUARDED_BY(mutex_) = 0;
+  bool stopping_ SIOT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace siot::sim

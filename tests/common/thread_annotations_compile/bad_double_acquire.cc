@@ -1,0 +1,20 @@
+// Copyright 2026 The siot-trust Authors.
+// Seeded violation 3 of 3: acquires the same (non-recursive) mutex
+// twice in one scope — a guaranteed self-deadlock at runtime. clang
+// must REJECT; gcc must ACCEPT (the macros are no-ops there).
+#include "common/mutex.h"
+
+namespace {
+
+siot::Mutex mu;
+
+int DoubleAcquire() {
+  const siot::MutexLock first(&mu);
+  // BAD: mu is already held by `first`.
+  const siot::MutexLock second(&mu);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return DoubleAcquire(); }

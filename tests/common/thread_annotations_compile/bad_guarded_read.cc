@@ -1,0 +1,26 @@
+// Copyright 2026 The siot-trust Authors.
+// Seeded violation 1 of 3: reads a SIOT_GUARDED_BY member with no lock
+// held. clang with -Wthread-safety promoted to errors must REJECT this
+// translation unit; gcc must ACCEPT it, proving the annotation macros
+// compile away to no-ops off clang.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: touches value_ without mutex_.
+  int UnlockedRead() const { return value_; }
+
+ private:
+  mutable siot::Mutex mutex_;
+  int value_ SIOT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.UnlockedRead();
+}

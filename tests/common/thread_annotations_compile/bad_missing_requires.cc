@@ -1,0 +1,28 @@
+// Copyright 2026 The siot-trust Authors.
+// Seeded violation 2 of 3: calls a SIOT_REQUIRES helper without holding
+// the capability it demands. clang must REJECT; gcc must ACCEPT (the
+// macros are no-ops there).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void IncrementLocked() SIOT_REQUIRES(mutex_) { ++value_; }
+
+  // BAD: the helper's precondition (mutex_ held) is not established.
+  void Increment() { IncrementLocked(); }
+
+ private:
+  siot::Mutex mutex_;
+  int value_ SIOT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

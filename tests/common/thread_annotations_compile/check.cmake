@@ -1,0 +1,78 @@
+# Copyright 2026 The siot-trust Authors.
+# Negative-compilation matrix for the thread-safety annotations, run as
+# one CTest test (see tests/CMakeLists.txt). Each snippet is compiled
+# with -fsyntax-only under the SAME compiler the build used:
+#
+#   compiler   ok_baseline.cc   bad_*.cc
+#   clang      must compile     must be REJECTED (analysis fires)
+#   others     must compile     must compile (macros are no-ops)
+#
+# The second row is the portability half of the matrix: if a bad_*.cc
+# stops compiling under gcc, an annotation macro leaked real syntax.
+#
+# Usage:
+#   cmake -DCOMPILER=<cxx> -DCOMPILER_ID=<id> -DREPO_SRC=<repo root>
+#         -P check.cmake
+
+if(NOT COMPILER OR NOT COMPILER_ID OR NOT REPO_SRC)
+  message(FATAL_ERROR "check.cmake needs -DCOMPILER, -DCOMPILER_ID and -DREPO_SRC")
+endif()
+
+get_filename_component(SNIPPET_DIR "${CMAKE_CURRENT_LIST_FILE}" DIRECTORY)
+
+set(BASE_FLAGS -std=c++20 -fsyntax-only "-I${REPO_SRC}/src" -Wall -Wextra -Werror)
+if(COMPILER_ID MATCHES "Clang")
+  # Mirror the flags src/CMakeLists' siot_warnings target applies, so
+  # this matrix certifies exactly the gate the real build enforces.
+  list(APPEND BASE_FLAGS
+    -Wthread-safety -Wthread-safety-beta
+    -Werror=thread-safety-analysis -Werror=thread-safety-attributes
+    -Werror=thread-safety-precise -Werror=thread-safety-reference
+    -Werror=thread-safety-beta)
+  set(EXPECT_BAD_REJECTED TRUE)
+else()
+  set(EXPECT_BAD_REJECTED FALSE)
+endif()
+
+set(FAILURES 0)
+
+function(check_snippet name must_compile)
+  execute_process(
+    COMMAND "${COMPILER}" ${BASE_FLAGS} "${SNIPPET_DIR}/${name}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(must_compile AND NOT rc EQUAL 0)
+    message(SEND_ERROR
+      "${name}: expected to COMPILE under ${COMPILER_ID} but failed:\n${err}")
+    math(EXPR FAILURES "${FAILURES}+1")
+  elseif(NOT must_compile AND rc EQUAL 0)
+    message(SEND_ERROR
+      "${name}: expected ${COMPILER_ID}'s thread-safety analysis to "
+      "REJECT this snippet, but it compiled — the gate is not firing")
+    math(EXPR FAILURES "${FAILURES}+1")
+  else()
+    if(must_compile)
+      message(STATUS "${name}: compiled, as required")
+    else()
+      message(STATUS "${name}: rejected by the analysis, as required")
+    endif()
+  endif()
+  set(FAILURES "${FAILURES}" PARENT_SCOPE)
+endfunction()
+
+check_snippet(ok_baseline.cc TRUE)
+if(EXPECT_BAD_REJECTED)
+  check_snippet(bad_guarded_read.cc FALSE)
+  check_snippet(bad_missing_requires.cc FALSE)
+  check_snippet(bad_double_acquire.cc FALSE)
+else()
+  check_snippet(bad_guarded_read.cc TRUE)
+  check_snippet(bad_missing_requires.cc TRUE)
+  check_snippet(bad_double_acquire.cc TRUE)
+endif()
+
+if(FAILURES GREATER 0)
+  message(FATAL_ERROR "${FAILURES} snippet expectation(s) violated")
+endif()
+message(STATUS "thread-annotations compile matrix: all expectations held")

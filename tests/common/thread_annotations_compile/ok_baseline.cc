@@ -1,0 +1,34 @@
+// Copyright 2026 The siot-trust Authors.
+// Negative-compilation matrix baseline: CORRECT lock discipline. Must
+// compile under every supported compiler — it proves the harness's
+// include paths and flags are sane, so a bad_*.cc rejection means the
+// analysis fired, not that the snippet was broken for some other reason.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    const siot::MutexLock lock(&mutex_);
+    ++value_;
+  }
+
+  int Get() const {
+    const siot::MutexLock lock(&mutex_);
+    return value_;
+  }
+
+ private:
+  mutable siot::Mutex mutex_;
+  int value_ SIOT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get() == 1 ? 0 : 1;
+}

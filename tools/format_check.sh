@@ -1,8 +1,10 @@
 #!/bin/sh
-# clang-format dry-run over every C++ file in the tree.
+# clang-format dry-run over every C++ file in the tree, then the
+# concurrency-discipline lint (tools/lint_concurrency.py).
 #
-# Exits non-zero if any file would be reformatted. Override the binary with
-# CLANG_FORMAT=/path/to/clang-format (e.g. a pinned major version in CI).
+# Exits non-zero if any file would be reformatted or any lint rule
+# fires. Override the binary with CLANG_FORMAT=/path/to/clang-format
+# (e.g. a pinned major version in CI).
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,4 +31,9 @@ done
 if [ "$status" -ne 0 ]; then
   echo "run: $clang_format -i <file> (style: $repo_root/.clang-format)" >&2
 fi
+
+if ! python3 "$repo_root/tools/lint_concurrency.py"; then
+  status=1
+fi
+
 exit $status

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+# Copyright 2026 The siot-trust Authors.
+"""Repo lint for concurrency discipline. Three rules:
+
+1. raw-primitive: std::mutex / std::shared_mutex / std::lock_guard /
+   std::unique_lock / std::shared_lock / std::scoped_lock /
+   std::condition_variable may appear ONLY in src/common/mutex.h. All
+   other code must use the annotated siot::Mutex / siot::SharedMutex /
+   siot::MutexLock / siot::ReaderLock / siot::CondVar wrappers — a raw
+   primitive is invisible to clang's thread-safety analysis, so any
+   state it guards silently loses its compile-time guarantees.
+
+2. check-side-effect: SIOT_CHECK / SIOT_CHECK_MSG conditions must be
+   pure (no ++, --, or assignment). The macros ARE active in every
+   build today, but a reader pattern-matching on assert() semantics
+   will assume the argument may not run; keeping conditions pure keeps
+   that assumption harmless and keeps the macros free to change.
+
+3. sleep-sync: tests/ must not synchronize with sleep_for. A sleep is
+   a race with a timeout bolted on; use the deadline-polling helpers
+   the services expose (e.g. AwaitPositions) or a CondVar wait on the
+   state being awaited. (src/ is exempt: deadline-polling helpers are
+   themselves implemented with a bounded sleep-poll loop.)
+
+Exit status 0 when clean, 1 with one "path:line: [rule] message" per
+finding otherwise. Run from anywhere; wired into tools/format_check.sh.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+CXX_SUFFIXES = {".cc", ".cpp", ".h", ".hpp"}
+
+RAW_PRIMITIVE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock|condition_variable|condition_variable_any)\b"
+)
+RAW_PRIMITIVE_ALLOWED = {pathlib.PurePosixPath("src/common/mutex.h")}
+
+CHECK_CALL = re.compile(r"\bSIOT_CHECK(?:_MSG)?\s*\(")
+# ++ / -- / assignment. `==`, `!=`, `<=`, `>=` are comparisons; a lone
+# `=` or a compound `+=`-style `=` is a mutation.
+INCREMENT = re.compile(r"\+\+|--")
+ASSIGNMENT = re.compile(r"(?<![=!<>])=(?!=)")
+
+SLEEP_SYNC = re.compile(r"\bsleep_for\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string literals, preserving
+    line structure so finding offsets still map to line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:end]))
+            i = end
+        elif ch in "\"'":
+            quote, j = ch, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def first_argument(text: str, open_paren: int) -> str | None:
+    """The first top-level argument of the call whose '(' is at
+    open_paren — i.e. the condition of SIOT_CHECK_MSG(cond, fmt, ...)."""
+    depth, i = 0, open_paren
+    start = open_paren + 1
+    while i < len(text):
+        ch = text[i]
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                return text[start:i]
+        elif ch == "," and depth == 1:
+            return text[start:i]
+        i += 1
+    return None  # Unbalanced (macro definition split across lines).
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def lint_file(path: pathlib.Path, findings: list[str]) -> None:
+    rel = pathlib.PurePosixPath(path.relative_to(REPO).as_posix())
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    text = strip_comments(raw)
+
+    if rel not in RAW_PRIMITIVE_ALLOWED:
+        for m in RAW_PRIMITIVE.finditer(text):
+            findings.append(
+                f"{rel}:{line_of(text, m.start())}: [raw-primitive] "
+                f"{m.group(0)} outside src/common/mutex.h — use the "
+                f"annotated siot:: wrappers so the thread-safety "
+                f"analysis can see the lock"
+            )
+
+    for m in CHECK_CALL.finditer(text):
+        cond = first_argument(text, m.end() - 1)
+        if cond is None:
+            continue
+        if INCREMENT.search(cond) or ASSIGNMENT.search(cond):
+            findings.append(
+                f"{rel}:{line_of(text, m.start())}: [check-side-effect] "
+                f"SIOT_CHECK condition mutates state — hoist the side "
+                f"effect out and assert on the result"
+            )
+
+    if rel.parts and rel.parts[0] == "tests":
+        for m in SLEEP_SYNC.finditer(text):
+            findings.append(
+                f"{rel}:{line_of(text, m.start())}: [sleep-sync] "
+                f"sleep_for in a test — poll with a deadline helper "
+                f"(e.g. AwaitPositions) or wait on a CondVar instead"
+            )
+
+
+def main() -> int:
+    findings: list[str] = []
+    for top in SCAN_DIRS:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                lint_file(path, findings)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_concurrency: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
