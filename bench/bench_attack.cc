@@ -1,0 +1,121 @@
+// Copyright 2026 The siot-trust Authors.
+// Adversarial attack-suite benchmarks — the cost of running attacks at
+// scale:
+//   * full attack simulation per family (on-off, bad-mouthing,
+//     whitewashing, collusion) against an in-memory TrustService — the
+//     delegation/report/pre-evaluation round loop the resilience
+//     experiments pay per configuration point;
+//   * the whitewashing attack through the DURABLE service path — WAL
+//     appends + checkpoints under the adversarial write pattern (fresh
+//     identities keep widening the key space, the worst case for the
+//     store's growth).
+// The reproduction section prints the cross-family resilience summary
+// the README's "Adversarial resilience" table quotes.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "service/persistence.h"
+#include "service/trust_service.h"
+#include "sim/adversary.h"
+
+namespace siot {
+namespace {
+
+using sim::AttackSimConfig;
+using sim::AttackSimResult;
+using sim::AttackType;
+
+AttackSimConfig MakeConfig(AttackType type) {
+  AttackSimConfig config;
+  config.agents = bench::QuickClamp(96, 32);
+  config.rounds = bench::QuickClamp(20, 6);
+  config.candidates_per_trustor = 8;
+  config.shard_count = 8;
+  config.seed = 17;
+  config.threads = 1;
+  config.attack.type = type;
+  config.attack.adversary_fraction = 0.25;
+  return config;
+}
+
+AttackSimResult RunInMemory(const AttackSimConfig& config) {
+  service::TrustService service(sim::AttackServiceConfig(config));
+  auto result = sim::RunAttackSimulation(service, config);
+  SIOT_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+void PrintReproduction() {
+  bench::PrintBanner(
+      "Adversarial resilience",
+      "attack families vs the naive Eq. 18/23 configuration");
+  TextTable table(StrFormat(
+      "Resilience summary at adversary fraction 0.25 (%zu agents, "
+      "%zu rounds)",
+      MakeConfig(AttackType::kNone).agents,
+      MakeConfig(AttackType::kNone).rounds));
+  table.SetHeader({"attack", "misdeleg", "unavail", "abuse", "honest tw",
+                   "attacker tw", "detect round", "ww"});
+  for (AttackType type :
+       {AttackType::kNone, AttackType::kOnOff, AttackType::kBadMouthing,
+        AttackType::kWhitewashing, AttackType::kCollusion}) {
+    const AttackSimResult result = RunInMemory(MakeConfig(type));
+    table.AddRow({sim::AttackTypeName(type),
+                  FormatDouble(result.misdelegation_rate, 3),
+                  FormatDouble(result.unavailable_rate, 3),
+                  FormatDouble(result.abuse_rate, 3),
+                  FormatDouble(result.final_honest_trust, 3),
+                  FormatDouble(result.final_attacker_trust, 3),
+                  result.time_to_detect.has_value()
+                      ? StrFormat("%zu", *result.time_to_detect)
+                      : "-",
+                  StrFormat("%zu", result.whitewashes)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+}
+
+void BM_AttackSimulation(benchmark::State& state, AttackType type) {
+  const AttackSimConfig config = MakeConfig(type);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunInMemory(config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.rounds));
+}
+BENCHMARK_CAPTURE(BM_AttackSimulation, onoff, AttackType::kOnOff);
+BENCHMARK_CAPTURE(BM_AttackSimulation, badmouth, AttackType::kBadMouthing);
+BENCHMARK_CAPTURE(BM_AttackSimulation, whitewash, AttackType::kWhitewashing);
+BENCHMARK_CAPTURE(BM_AttackSimulation, collusion, AttackType::kCollusion);
+
+void BM_AttackDurable(benchmark::State& state, AttackType type) {
+  const AttackSimConfig config = MakeConfig(type);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "siot_bench_attack").string();
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    service::PersistenceOptions options;
+    options.directory = dir;
+    auto service =
+        service::TrustService::Open(sim::AttackServiceConfig(config), options);
+    SIOT_CHECK(service.ok());
+    auto result = sim::RunAttackSimulation(*service.value(), config);
+    SIOT_CHECK(result.ok());
+    benchmark::DoNotOptimize(result.value());
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.rounds));
+}
+BENCHMARK_CAPTURE(BM_AttackDurable, whitewash, AttackType::kWhitewashing);
+
+}  // namespace
+}  // namespace siot
+
+SIOT_BENCH_MAIN(siot::PrintReproduction)

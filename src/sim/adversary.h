@@ -1,0 +1,208 @@
+// Copyright 2026 The siot-trust Authors.
+// Adversarial agent behaviors layered over the §5 simulation population,
+// and the attack driver that runs them against a full
+// service::TrustService (in-memory or durable). The paper evaluates
+// Eq. 18 trustworthiness and the Eq. 23/24 delegation strategies only
+// under honest agents; this module implements the four attack families
+// any deployed SIoT trust system faces (SIoT trustworthiness survey,
+// arXiv 2202.03624; trust-based resilient SIoT, arXiv 2310.19173):
+//
+//   * on-off oscillation — adversarial trustees serve honestly for
+//     `on_rounds`, then exploit for `off_rounds` (phase-staggered per
+//     slot), riding the Eqs. 19-22 forgetting factor to keep their
+//     Eq. 18 score above the detection bar between exploit bursts;
+//   * bad-mouthing / ballot-stuffing — adversarial trustees execute
+//     honestly but LIE in the reverse evaluation (Eq. 1 / Fig. 2):
+//     honest trustors' responsible uses are reported abusive (their
+//     reverse trustworthiness decays until every adversary refuses
+//     them), while accomplice trustors' abusive uses are reported
+//     responsive (the abuse is never punished);
+//   * whitewashing — adversarial trustees always exploit, and after
+//     `whitewash_after_uses` exploited executions re-enter under a
+//     fresh identity, regaining the optimistic first-contact estimates;
+//   * collusive cliques — clique trustees exploit honest trustors but
+//     serve accomplices honestly and ballot-stuff their reverse
+//     reputation; clique trustors file fake outcome reports each round
+//     (intra-clique boosting + extra-clique smearing), inflating the
+//     clique's pooled Eq. 18 score and deflating honest trustees'.
+//
+// Determinism contract: every stochastic decision is drawn from a
+// per-(round, agent) RNG stream (DeriveStream), all service writes are
+// batched in a fixed agent order, and the parallel phase is read-only —
+// so a run is bit-identical at 1, 2, or 8 threads and identical between
+// the in-memory and durable TrustService paths. The property tests in
+// tests/sim/adversary_test.cc assert exactly that.
+
+#ifndef SIOT_SIM_ADVERSARY_H_
+#define SIOT_SIM_ADVERSARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "service/trust_service.h"
+#include "sim/agent.h"
+#include "sim/resilience_metrics.h"
+#include "trust/trust_engine.h"
+#include "trust/types.h"
+
+namespace siot::sim {
+
+/// The implemented attack families.
+enum class AttackType : std::uint8_t {
+  kNone = 0,  ///< Honest baseline (adversary slots behave honestly).
+  kOnOff,
+  kBadMouthing,
+  kWhitewashing,
+  kCollusion,
+};
+
+/// Stable lowercase name ("onoff", "badmouth", ...), for configs/tables.
+const char* AttackTypeName(AttackType type);
+
+/// Inverse of AttackTypeName; nullopt for unknown names.
+std::optional<AttackType> ParseAttackType(std::string_view name);
+
+/// Parameters shared by every attack family; each family reads the
+/// subset it needs.
+struct AttackParams {
+  AttackType type = AttackType::kNone;
+  /// Fraction of trustee slots that are adversarial (and of trustors
+  /// that are accomplices, for the families that use them).
+  double adversary_fraction = 0.2;
+
+  // Honest behavior model (used by everyone when not exploiting).
+  double honest_success_rate = 0.9;
+  double honest_abuse_rate = 0.05;
+  double honest_gain = 0.8;
+  double honest_damage = 0.3;
+  double task_cost = 0.1;
+
+  // Exploit behavior: near-certain failure with high realized damage.
+  double exploit_success_rate = 0.05;
+  double exploit_damage = 0.9;
+
+  // On-off cadence (slot s starts its cycle at offset s, so the
+  // population's exploit phases are staggered).
+  std::size_t on_rounds = 4;
+  std::size_t off_rounds = 4;
+
+  // Whitewashing: identity reset after this many exploited executions.
+  std::size_t whitewash_after_uses = 6;
+
+  // Accomplice trustors: their true abuse probability (bad-mouthing /
+  // collusion), and how many fake boost+smear report pairs each clique
+  // trustor files per round (collusion).
+  double accomplice_abuse_rate = 0.9;
+  std::size_t fake_reports_per_member = 1;
+};
+
+/// Pluggable attack policy. Stateless: all mutable attack state (current
+/// identities, exploit counters) lives in the driver, so one behavior
+/// can be shared across runs and threads. The base class is the honest
+/// policy (never exploits, never lies); each family overrides the hooks
+/// it perverts.
+class AdversaryBehavior {
+ public:
+  explicit AdversaryBehavior(const AttackParams& params) : params_(params) {}
+  virtual ~AdversaryBehavior() = default;
+
+  AdversaryBehavior(const AdversaryBehavior&) = delete;
+  AdversaryBehavior& operator=(const AdversaryBehavior&) = delete;
+
+  const AttackParams& params() const { return params_; }
+  virtual AttackType type() const { return AttackType::kNone; }
+
+  /// True when adversarial trustee `slot` exploits a delegation from
+  /// this trustor in `round` (low success, high damage).
+  virtual bool Exploits(std::size_t slot, std::size_t round,
+                        bool trustor_is_accomplice) const;
+
+  /// The abusive flag an adversarial trustee REPORTS about a use
+  /// (truthful by default; bad-mouthing families lie).
+  virtual bool ReportedAbusive(bool actually_abusive,
+                               bool trustor_is_accomplice) const;
+
+  /// True when a slot with `exploited_uses` exploited executions should
+  /// re-enter under a fresh identity.
+  virtual bool ShouldWhitewash(std::size_t exploited_uses) const;
+
+  /// True when accomplice trustors file fake boost/smear reports.
+  virtual bool FilesFakeReports() const;
+
+ private:
+  AttackParams params_;
+};
+
+/// Factory for the policy matching `params.type`.
+std::unique_ptr<AdversaryBehavior> MakeAdversaryBehavior(
+    const AttackParams& params);
+
+/// Attack-simulation configuration. The driver builds a ring-graph
+/// population (§5.1 role fractions), assigns adversary trustee slots and
+/// accomplice trustors, and runs `rounds` rounds of delegate → execute →
+/// report against the service.
+struct AttackSimConfig {
+  std::size_t agents = 64;
+  std::size_t rounds = 30;
+  std::size_t candidates_per_trustor = 8;
+  std::size_t shard_count = 8;
+  /// Global reverse-evaluation threshold θ (the naive configuration the
+  /// negative controls attack: every trustee refuses trustors whose
+  /// reverse trustworthiness fell below θ).
+  double theta = 0.5;
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;
+  double detect_percentile = 0.25;
+  AttackParams attack;
+  PopulationConfig population;
+};
+
+/// The naive engine configuration the attacks are proven effective
+/// against: optimistic first-contact estimates (the newcomer bonus
+/// whitewashing exploits), a long memory (β = 0.7 — the inertia on-off
+/// oscillation rides), Eq. 23 ranking.
+trust::TrustEngineConfig NaiveAttackEngineConfig(double theta);
+
+/// Service configuration for an attack run (shard count + naive engine).
+/// Use for BOTH construction paths the suite proves equivalent:
+/// `TrustService(AttackServiceConfig(cfg))` and
+/// `TrustService::Open(AttackServiceConfig(cfg), persistence)`.
+service::TrustServiceConfig AttackServiceConfig(const AttackSimConfig& config);
+
+/// Result of one attack run: the per-round resilience table, its
+/// summaries, and a serialized digest of every shard engine (byte
+/// equality of digests proves two runs converged to identical state).
+struct AttackSimResult {
+  std::vector<ResilienceRoundMetrics> rounds;
+  double misdelegation_rate = 0.0;
+  double unavailable_rate = 0.0;
+  double abuse_rate = 0.0;
+  double final_honest_trust = 0.0;
+  double final_attacker_trust = 0.0;
+  std::optional<std::size_t> time_to_detect;
+  std::optional<double> whitewash_recovery;
+  std::size_t whitewashes = 0;
+  std::string state_digest;
+
+  bool operator==(const AttackSimResult&) const = default;
+};
+
+/// Runs the configured attack against `service`, which must have been
+/// created from AttackServiceConfig(config) and be otherwise unused.
+/// Registers the task, then per round: a read-only parallel phase
+/// (delegation requests + outcome draws from per-(round, trustor)
+/// streams), a sequential report phase in trustor order (adversarial
+/// lies + collusion fakes applied), whitewash identity resets, and a
+/// pooled Eq. 18 pre-evaluation sweep feeding the ResilienceTracker.
+StatusOr<AttackSimResult> RunAttackSimulation(service::TrustService& service,
+                                              const AttackSimConfig& config);
+
+}  // namespace siot::sim
+
+#endif  // SIOT_SIM_ADVERSARY_H_

@@ -1,0 +1,113 @@
+// Copyright 2026 The siot-trust Authors.
+
+#include "sim/resilience_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace siot::sim {
+namespace {
+
+double Ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+ResilienceTracker::ResilienceTracker(double detect_percentile)
+    : detect_percentile_(std::clamp(detect_percentile, 0.0, 1.0)) {}
+
+void ResilienceTracker::RecordRound(const RoundObservation& observation) {
+  ResilienceRoundMetrics row;
+  row.round = rounds_.size();
+  row.requests = observation.requests;
+  row.delegations = observation.delegations;
+  row.misdelegations = observation.misdelegations;
+  row.unavailable = observation.unavailable;
+  row.refusals = observation.refusals;
+  row.abusive_uses = observation.abusive_uses;
+  row.whitewashes = observation.whitewashes;
+  row.misdelegation_rate =
+      Ratio(observation.misdelegations, observation.requests);
+  row.unavailable_rate = Ratio(observation.unavailable, observation.requests);
+  row.abuse_rate = Ratio(observation.abusive_uses, observation.delegations);
+  row.honest_mean_trust = Mean(observation.honest_scores);
+  row.attacker_mean_trust = Mean(observation.attacker_scores);
+  row.detection_bar =
+      Percentile(observation.honest_scores, detect_percentile_);
+  row.attacker_detected = !observation.honest_scores.empty() &&
+                          !observation.attacker_scores.empty() &&
+                          row.attacker_mean_trust < row.detection_bar;
+  rounds_.push_back(row);
+
+  total_requests_ += observation.requests;
+  total_delegations_ += observation.delegations;
+  total_misdelegations_ += observation.misdelegations;
+  total_unavailable_ += observation.unavailable;
+  total_abusive_uses_ += observation.abusive_uses;
+  total_whitewashes_ += observation.whitewashes;
+}
+
+double ResilienceTracker::OverallMisdelegationRate() const {
+  return Ratio(total_misdelegations_, total_requests_);
+}
+
+double ResilienceTracker::OverallUnavailableRate() const {
+  return Ratio(total_unavailable_, total_requests_);
+}
+
+double ResilienceTracker::OverallAbuseRate() const {
+  return Ratio(total_abusive_uses_, total_delegations_);
+}
+
+double ResilienceTracker::FinalHonestTrust() const {
+  return rounds_.empty() ? 0.0 : rounds_.back().honest_mean_trust;
+}
+
+double ResilienceTracker::FinalAttackerTrust() const {
+  return rounds_.empty() ? 0.0 : rounds_.back().attacker_mean_trust;
+}
+
+std::optional<std::size_t> ResilienceTracker::TimeToDetect() const {
+  for (const ResilienceRoundMetrics& row : rounds_) {
+    if (row.attacker_detected) return row.round;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ResilienceTracker::PostWhitewashRecovery() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < rounds_.size(); ++w) {
+    if (rounds_[w].whitewashes == 0) continue;
+    for (std::size_t j = w + 1; j < rounds_.size(); ++j) {
+      if (rounds_[j].attacker_detected) {
+        sum += static_cast<double>(j - w);
+        ++count;
+        break;
+      }
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace siot::sim

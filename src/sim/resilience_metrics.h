@@ -1,0 +1,127 @@
+// Copyright 2026 The siot-trust Authors.
+// Resilience metrics for the adversarial scenario suite: how well the
+// Eq. 18/23/24 decision stack holds up when a fraction of the population
+// attacks it. The attack drivers (sim/adversary.h) feed one
+// RoundObservation per simulated round into a ResilienceTracker, which
+// derives per-round rates plus the summary metrics the experiments and
+// property tests assert on:
+//   * misdelegation rate — delegations awarded to an attacker while it
+//     was exploiting (an Eq. 23 ranking failure against ground truth),
+//   * trust inflation/deflation — pooled attacker Eq. 18 score relative
+//     to an honest-baseline run,
+//   * time-to-detect — rounds until the pooled attacker score drops
+//     below a low percentile of the honest trustees' scores,
+//   * post-whitewash recovery — rounds an identity reset buys an
+//     attacker before detection re-engages.
+// Everything here is plain deterministic arithmetic over the
+// observations; determinism proofs compare whole ResilienceRoundMetrics
+// sequences for equality.
+
+#ifndef SIOT_SIM_RESILIENCE_METRICS_H_
+#define SIOT_SIM_RESILIENCE_METRICS_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace siot::sim {
+
+/// Raw per-round ground truth gathered by an attack driver. Counts are
+/// over the round's delegation requests; the score pools are Eq. 18
+/// pre-evaluations of every (trustor, candidate) pair, partitioned by
+/// whether the candidate is an adversary.
+struct RoundObservation {
+  std::size_t requests = 0;
+  std::size_t delegations = 0;     ///< Requests somebody executed.
+  std::size_t misdelegations = 0;  ///< Executor was exploiting.
+  std::size_t unavailable = 0;     ///< Every candidate refused.
+  std::size_t refusals = 0;        ///< Reverse-evaluation refusals seen.
+  std::size_t abusive_uses = 0;    ///< Trustor truly abused the resource.
+  std::size_t whitewashes = 0;     ///< Identity resets this round.
+  std::vector<double> honest_scores;
+  std::vector<double> attacker_scores;
+};
+
+/// One round's derived metrics (the resilience-table row).
+struct ResilienceRoundMetrics {
+  std::size_t round = 0;
+  std::size_t requests = 0;
+  std::size_t delegations = 0;
+  std::size_t misdelegations = 0;
+  std::size_t unavailable = 0;
+  std::size_t refusals = 0;
+  std::size_t abusive_uses = 0;
+  std::size_t whitewashes = 0;
+  double misdelegation_rate = 0.0;  ///< misdelegations / requests.
+  double unavailable_rate = 0.0;    ///< unavailable / requests.
+  double abuse_rate = 0.0;          ///< abusive_uses / delegations.
+  double honest_mean_trust = 0.0;
+  double attacker_mean_trust = 0.0;
+  /// Detection bar: the configured percentile of the honest score pool.
+  double detection_bar = 0.0;
+  /// True when both pools are non-empty and the pooled attacker mean
+  /// sits below the bar — the system tells attackers from honest agents.
+  bool attacker_detected = false;
+
+  bool operator==(const ResilienceRoundMetrics&) const = default;
+};
+
+/// `p`-quantile of `values` (p clamped to [0, 1]) with linear
+/// interpolation between order statistics; 0 for an empty pool.
+double Percentile(std::vector<double> values, double p);
+
+/// Accumulates RoundObservations into the per-round table + summaries.
+class ResilienceTracker {
+ public:
+  /// `detect_percentile` positions the detection bar within the honest
+  /// score pool (0.25 = attackers must score below the honest lower
+  /// quartile to count as detected).
+  explicit ResilienceTracker(double detect_percentile = 0.25);
+
+  void RecordRound(const RoundObservation& observation);
+
+  const std::vector<ResilienceRoundMetrics>& rounds() const {
+    return rounds_;
+  }
+  double detect_percentile() const { return detect_percentile_; }
+
+  /// Whole-run rates (0 when the denominator never advanced).
+  double OverallMisdelegationRate() const;
+  double OverallUnavailableRate() const;
+  double OverallAbuseRate() const;
+  std::size_t TotalWhitewashes() const { return total_whitewashes_; }
+
+  /// Last round's pooled means (0 before any round).
+  double FinalHonestTrust() const;
+  double FinalAttackerTrust() const;
+
+  /// Final pooled attacker score minus an honest baseline (e.g. the
+  /// FinalHonestTrust of a zero-adversary run): positive = the attack
+  /// inflated its trust above honest behavior, negative = deflated.
+  double TrustInflation(double honest_baseline) const {
+    return FinalAttackerTrust() - honest_baseline;
+  }
+
+  /// First round whose attacker pool fell below the detection bar;
+  /// nullopt when detection never engaged.
+  std::optional<std::size_t> TimeToDetect() const;
+
+  /// Mean rounds from a whitewash to the next detected round — how long
+  /// an identity reset evades detection. Nullopt when no whitewash was
+  /// ever re-detected.
+  std::optional<double> PostWhitewashRecovery() const;
+
+ private:
+  double detect_percentile_;
+  std::vector<ResilienceRoundMetrics> rounds_;
+  std::size_t total_requests_ = 0;
+  std::size_t total_delegations_ = 0;
+  std::size_t total_misdelegations_ = 0;
+  std::size_t total_unavailable_ = 0;
+  std::size_t total_abusive_uses_ = 0;
+  std::size_t total_whitewashes_ = 0;
+};
+
+}  // namespace siot::sim
+
+#endif  // SIOT_SIM_RESILIENCE_METRICS_H_

@@ -52,6 +52,61 @@ TEST(DelegationTallyTest, MergeAddsFields) {
   EXPECT_EQ(a.total_uses, 2u);
 }
 
+TEST(DelegationTallyTest, MergeOfEmptyTallyIsIdentity) {
+  DelegationTally tally;
+  tally.AddSuccess(true);
+  tally.AddFailure(false);
+  const DelegationTally before = tally;
+  tally.Merge(DelegationTally{});  // an empty round contributes nothing
+  EXPECT_EQ(tally.requests, before.requests);
+  EXPECT_EQ(tally.successes, before.successes);
+  EXPECT_EQ(tally.failures, before.failures);
+  EXPECT_EQ(tally.total_uses, before.total_uses);
+  EXPECT_DOUBLE_EQ(tally.success_rate(), before.success_rate());
+
+  DelegationTally empty;
+  empty.Merge(before);  // and merging INTO an empty round copies it
+  EXPECT_EQ(empty.requests, before.requests);
+  EXPECT_DOUBLE_EQ(empty.abuse_rate(), before.abuse_rate());
+}
+
+TEST(DelegationTallyTest, AllRefusedRoundHasNoUses) {
+  // A round where every candidate refused: all requests end unavailable,
+  // no trustee resource was ever used, so the abuse rate must stay 0
+  // (not NaN) and the unavailable rate must account for every request.
+  DelegationTally tally;
+  for (int i = 0; i < 5; ++i) tally.AddUnavailable();
+  EXPECT_EQ(tally.requests, 5u);
+  EXPECT_EQ(tally.total_uses, 0u);
+  EXPECT_DOUBLE_EQ(tally.unavailable_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(tally.success_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(tally.failure_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(tally.abuse_rate(), 0.0);
+}
+
+TEST(DelegationTallyTest, SingleAgentNetworkSingleRequest) {
+  // Degenerate network: one trustor, one trustee, one delegation. Every
+  // rate must be exact (no smoothing) at a denominator of 1.
+  DelegationTally tally;
+  tally.AddSuccess(false);
+  EXPECT_EQ(tally.requests, 1u);
+  EXPECT_DOUBLE_EQ(tally.success_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(tally.failure_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(tally.unavailable_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(tally.abuse_rate(), 0.0);
+
+  DelegationTally abusive;
+  abusive.AddFailure(true);
+  EXPECT_DOUBLE_EQ(abusive.failure_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(abusive.abuse_rate(), 1.0);
+}
+
+TEST(IterationTraceTest, ZeroIterationsMeanIsEmpty) {
+  const IterationTrace trace(0);
+  EXPECT_EQ(trace.iterations(), 0u);
+  EXPECT_TRUE(trace.Mean().empty());
+}
+
 TEST(IterationTraceTest, MeanPerIteration) {
   IterationTrace trace(3);
   trace.Add(0, 1.0);

@@ -1,0 +1,200 @@
+// Copyright 2026 The siot-trust Authors.
+// Property and edge-case tests for the resilience metrics the attack
+// suite asserts on: the percentile helper, per-round derivation,
+// detection semantics, and the whitewash-recovery summary.
+
+#include "sim/resilience_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+namespace siot::sim {
+namespace {
+
+TEST(ResiliencePercentileTest, EmptyPoolIsZero) {
+  EXPECT_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(ResiliencePercentileTest, SingleValueAtEveryP) {
+  EXPECT_DOUBLE_EQ(Percentile({0.7}, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(Percentile({0.7}, 0.5), 0.7);
+  EXPECT_DOUBLE_EQ(Percentile({0.7}, 1.0), 0.7);
+}
+
+TEST(ResiliencePercentileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> values = {4.0, 1.0, 3.0, 2.0};  // unsorted input
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.25), 1.75);
+}
+
+TEST(ResiliencePercentileTest, ClampsPOutsideUnitInterval) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 2.0), 3.0);
+}
+
+TEST(ResilienceTrackerTest, EmptyRoundObservationIsAllZero) {
+  ResilienceTracker tracker;
+  tracker.RecordRound(RoundObservation{});
+  ASSERT_EQ(tracker.rounds().size(), 1u);
+  const ResilienceRoundMetrics& row = tracker.rounds().front();
+  EXPECT_EQ(row.misdelegation_rate, 0.0);
+  EXPECT_EQ(row.unavailable_rate, 0.0);
+  EXPECT_EQ(row.abuse_rate, 0.0);
+  EXPECT_EQ(row.honest_mean_trust, 0.0);
+  EXPECT_EQ(row.attacker_mean_trust, 0.0);
+  EXPECT_FALSE(row.attacker_detected);
+  EXPECT_EQ(tracker.OverallMisdelegationRate(), 0.0);
+  EXPECT_EQ(tracker.OverallAbuseRate(), 0.0);
+  EXPECT_FALSE(tracker.TimeToDetect().has_value());
+  EXPECT_FALSE(tracker.PostWhitewashRecovery().has_value());
+}
+
+TEST(ResilienceTrackerTest, NoRoundsMeansZeroSummaries) {
+  const ResilienceTracker tracker;
+  EXPECT_TRUE(tracker.rounds().empty());
+  EXPECT_EQ(tracker.FinalHonestTrust(), 0.0);
+  EXPECT_EQ(tracker.FinalAttackerTrust(), 0.0);
+  EXPECT_EQ(tracker.OverallUnavailableRate(), 0.0);
+  EXPECT_FALSE(tracker.TimeToDetect().has_value());
+}
+
+TEST(ResilienceTrackerTest, DerivesRatesFromCounts) {
+  ResilienceTracker tracker;
+  RoundObservation obs;
+  obs.requests = 10;
+  obs.delegations = 8;
+  obs.misdelegations = 2;
+  obs.unavailable = 1;
+  obs.abusive_uses = 4;
+  obs.honest_scores = {0.8, 0.9};
+  obs.attacker_scores = {0.3, 0.5};
+  tracker.RecordRound(obs);
+  const ResilienceRoundMetrics& row = tracker.rounds().front();
+  EXPECT_DOUBLE_EQ(row.misdelegation_rate, 0.2);
+  EXPECT_DOUBLE_EQ(row.unavailable_rate, 0.1);
+  EXPECT_DOUBLE_EQ(row.abuse_rate, 0.5);
+  EXPECT_DOUBLE_EQ(row.honest_mean_trust, 0.85);
+  EXPECT_DOUBLE_EQ(row.attacker_mean_trust, 0.4);
+  EXPECT_TRUE(row.attacker_detected);
+}
+
+TEST(ResilienceTrackerTest, OverallRatesWeightByCountsNotRounds) {
+  ResilienceTracker tracker;
+  RoundObservation small;
+  small.requests = 1;
+  small.delegations = 1;
+  small.misdelegations = 1;  // rate 1.0 in a 1-request round
+  tracker.RecordRound(small);
+  RoundObservation large;
+  large.requests = 9;
+  large.delegations = 9;
+  tracker.RecordRound(large);
+  // 1 misdelegation over 10 requests, not the mean of (1.0, 0.0).
+  EXPECT_DOUBLE_EQ(tracker.OverallMisdelegationRate(), 0.1);
+}
+
+TEST(ResilienceTrackerTest, DetectionNeedsBothPools) {
+  ResilienceTracker tracker;
+  RoundObservation no_attackers;
+  no_attackers.honest_scores = {0.9, 0.9};
+  tracker.RecordRound(no_attackers);
+  EXPECT_FALSE(tracker.rounds()[0].attacker_detected);
+
+  RoundObservation no_honest;
+  no_honest.attacker_scores = {0.1};
+  tracker.RecordRound(no_honest);
+  EXPECT_FALSE(tracker.rounds()[1].attacker_detected);
+}
+
+TEST(ResilienceTrackerTest, DetectionIsStrictlyBelowTheBar) {
+  ResilienceTracker tracker(0.25);
+  RoundObservation at_bar;
+  at_bar.honest_scores = {0.9, 0.9, 0.9};
+  at_bar.attacker_scores = {0.9};  // equal to the bar: NOT detected
+  tracker.RecordRound(at_bar);
+  EXPECT_FALSE(tracker.rounds()[0].attacker_detected);
+
+  RoundObservation below_bar = at_bar;
+  below_bar.attacker_scores = {0.6};
+  tracker.RecordRound(below_bar);
+  EXPECT_TRUE(tracker.rounds()[1].attacker_detected);
+}
+
+TEST(ResilienceTrackerTest, TimeToDetectIsFirstDetectedRound) {
+  ResilienceTracker tracker;
+  RoundObservation undetected;
+  undetected.honest_scores = {0.9, 0.9};
+  undetected.attacker_scores = {0.95};
+  RoundObservation detected = undetected;
+  detected.attacker_scores = {0.2};
+  tracker.RecordRound(undetected);
+  tracker.RecordRound(undetected);
+  tracker.RecordRound(detected);
+  tracker.RecordRound(detected);
+  ASSERT_TRUE(tracker.TimeToDetect().has_value());
+  EXPECT_EQ(*tracker.TimeToDetect(), 2u);
+}
+
+TEST(ResilienceTrackerTest, PostWhitewashRecoveryAveragesGaps) {
+  ResilienceTracker tracker;
+  RoundObservation quiet;
+  quiet.honest_scores = {0.9, 0.9};
+  quiet.attacker_scores = {0.95};
+  RoundObservation washed = quiet;
+  washed.whitewashes = 1;
+  RoundObservation caught = quiet;
+  caught.attacker_scores = {0.2};
+  // Round 0: whitewash; round 2: detected (gap 2).
+  // Round 3: whitewash; round 4: detected (gap 1).
+  tracker.RecordRound(washed);
+  tracker.RecordRound(quiet);
+  tracker.RecordRound(caught);
+  tracker.RecordRound(washed);
+  tracker.RecordRound(caught);
+  ASSERT_TRUE(tracker.PostWhitewashRecovery().has_value());
+  EXPECT_DOUBLE_EQ(*tracker.PostWhitewashRecovery(), 1.5);
+}
+
+TEST(ResilienceTrackerTest, RecoveryAbsentWhenNeverRedetected) {
+  ResilienceTracker tracker;
+  RoundObservation washed;
+  washed.honest_scores = {0.9};
+  washed.attacker_scores = {0.95};
+  washed.whitewashes = 1;
+  tracker.RecordRound(washed);
+  tracker.RecordRound(washed);
+  EXPECT_EQ(tracker.TotalWhitewashes(), 2u);
+  EXPECT_FALSE(tracker.PostWhitewashRecovery().has_value());
+}
+
+TEST(ResilienceTrackerTest, TrustInflationIsRelativeToBaseline) {
+  ResilienceTracker tracker;
+  RoundObservation obs;
+  obs.honest_scores = {0.8};
+  obs.attacker_scores = {0.9};
+  tracker.RecordRound(obs);
+  EXPECT_DOUBLE_EQ(tracker.TrustInflation(0.85), 0.9 - 0.85);
+  EXPECT_DOUBLE_EQ(tracker.TrustInflation(0.95), 0.9 - 0.95);
+}
+
+TEST(ResilienceTrackerTest, RoundMetricsEqualityIsFieldwise) {
+  ResilienceTracker a(0.25);
+  ResilienceTracker b(0.25);
+  RoundObservation obs;
+  obs.requests = 3;
+  obs.honest_scores = {0.9};
+  a.RecordRound(obs);
+  b.RecordRound(obs);
+  EXPECT_EQ(a.rounds(), b.rounds());
+  obs.requests = 4;
+  b.RecordRound(obs);
+  EXPECT_NE(a.rounds(), b.rounds());
+}
+
+}  // namespace
+}  // namespace siot::sim

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/rng.h"
+
 namespace siot::trust {
 namespace {
 
@@ -130,6 +134,100 @@ TEST(SelectTrusteeMutuallyTest, PaperFig2Procedure) {
       SelectTrusteeMutually(eval, 0, 0, {{1, 0.95}, {2, 0.85}});
   EXPECT_EQ(selection.refusals, (std::vector<AgentId>{1}));
   EXPECT_EQ(selection.trustee, 2u);
+}
+
+// Property: the mutual-selection procedure must depend on agent ids only
+// through the histories and thresholds keyed by them — renaming every
+// agent with a bijection and re-running the same scenario must yield the
+// renamed outcome. Candidate scores are kept pairwise distinct so the
+// documented tie-break-by-id never fires (ties are the one place ids
+// legitimately order the result).
+TEST(SelectTrusteeMutuallyTest, RelabelingAgentsPermutesTheOutcome) {
+  constexpr std::size_t kAgents = 12;
+  constexpr std::size_t kTrials = 25;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    Rng rng(MixSeed(0x5e1ab31u, trial));
+
+    // A random bijection onto a disjoint id range, so no accidental
+    // ordering relation between old and new ids survives.
+    std::vector<AgentId> relabel(kAgents);
+    for (std::size_t i = 0; i < kAgents; ++i) {
+      relabel[i] = static_cast<AgentId>(100 + i);
+    }
+    rng.Shuffle(relabel);
+
+    ReverseEvaluator original;
+    ReverseEvaluator renamed;
+    const double default_theta = rng.Uniform(0.2, 0.95);
+    original.SetDefaultThreshold(default_theta);
+    renamed.SetDefaultThreshold(default_theta);
+
+    const AgentId trustor = static_cast<AgentId>(rng.NextBounded(kAgents));
+    const TaskId task = 0;
+    for (AgentId trustee = 0; trustee < kAgents; ++trustee) {
+      if (trustee == trustor) continue;
+      const std::size_t uses = rng.NextBounded(8);
+      for (std::size_t u = 0; u < uses; ++u) {
+        const bool abusive = rng.NextDouble() < 0.4;
+        original.RecordUsage(trustee, trustor, abusive);
+        renamed.RecordUsage(relabel[trustee], relabel[trustor], abusive);
+      }
+      if (rng.NextDouble() < 0.3) {
+        const double theta = rng.Uniform(0.1, 0.9);
+        original.SetThreshold(trustee, kNoTask, theta);
+        renamed.SetThreshold(relabel[trustee], kNoTask, theta);
+      }
+      if (rng.NextDouble() < 0.2) {
+        const double theta = rng.Uniform(0.1, 0.9);
+        original.SetThreshold(trustee, task, theta);
+        renamed.SetThreshold(relabel[trustee], task, theta);
+      }
+    }
+
+    // Candidates with pairwise-distinct forward scores (fixed spacing,
+    // shuffled assignment) presented in a random order.
+    std::vector<AgentId> pool;
+    for (AgentId agent = 0; agent < kAgents; ++agent) {
+      if (agent != trustor) pool.push_back(agent);
+    }
+    rng.Shuffle(pool);
+    const std::size_t n_candidates = 2 + rng.NextBounded(pool.size() - 1);
+    std::vector<ScoredCandidate> candidates;
+    std::vector<ScoredCandidate> renamed_candidates;
+    for (std::size_t i = 0; i < n_candidates; ++i) {
+      const double score = 0.95 - 0.05 * static_cast<double>(i);
+      candidates.push_back({pool[i], score});
+      renamed_candidates.push_back({relabel[pool[i]], score});
+    }
+    rng.Shuffle(candidates);
+    rng.Shuffle(renamed_candidates);
+
+    const MutualSelection base =
+        SelectTrusteeMutually(original, trustor, task, candidates);
+    const MutualSelection mapped = SelectTrusteeMutually(
+        renamed, relabel[trustor], task, renamed_candidates);
+
+    if (base.trustee == kNoAgent) {
+      EXPECT_EQ(mapped.trustee, kNoAgent) << "trial " << trial;
+    } else {
+      EXPECT_EQ(mapped.trustee, relabel[base.trustee]) << "trial " << trial;
+    }
+    EXPECT_DOUBLE_EQ(mapped.trustworthiness, base.trustworthiness)
+        << "trial " << trial;
+    ASSERT_EQ(mapped.refusals.size(), base.refusals.size())
+        << "trial " << trial;
+    for (std::size_t i = 0; i < base.refusals.size(); ++i) {
+      EXPECT_EQ(mapped.refusals[i], relabel[base.refusals[i]])
+          << "trial " << trial << " refusal " << i;
+    }
+    for (AgentId trustee = 0; trustee < kAgents; ++trustee) {
+      if (trustee == trustor) continue;
+      EXPECT_DOUBLE_EQ(
+          renamed.ReverseTrustworthiness(relabel[trustee], relabel[trustor]),
+          original.ReverseTrustworthiness(trustee, trustor))
+          << "trial " << trial << " trustee " << trustee;
+    }
+  }
 }
 
 }  // namespace

@@ -40,6 +40,7 @@ run_bench bench_persistence BENCH_persistence.json
 run_bench bench_store_scaling BENCH_store_scaling.json
 run_bench bench_replication BENCH_replication.json
 run_bench bench_overlay_snapshot BENCH_overlay.json
+run_bench bench_attack BENCH_attack.json
 
 echo "bench-smoke OK:"
 ls -l "${out}"/BENCH_*.json

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 # Copyright 2026 The siot-trust Authors.
-"""Repo lint for concurrency discipline. Three rules:
+"""Repo lint for concurrency discipline. Four rules:
 
 1. raw-primitive: std::mutex / std::shared_mutex / std::lock_guard /
    std::unique_lock / std::shared_lock / std::scoped_lock /
@@ -21,6 +21,13 @@
    the services expose (e.g. AwaitPositions) or a CondVar wait on the
    state being awaited. (src/ is exempt: deadline-polling helpers are
    themselves implemented with a bounded sleep-poll loop.)
+
+4. raw-random: tests/ and bench/ must not draw from rand()/srand() or
+   std::random_device. Every simulation result in this repo is asserted
+   bit-identical across thread counts and reruns; an unseeded (or
+   process-global) randomness source makes a failure irreproducible.
+   Use siot::Rng with DeriveStream/MixSeed so every draw is a pure
+   function of the seed.
 
 Exit status 0 when clean, 1 with one "path:line: [rule] message" per
 finding otherwise. Run from anywhere; wired into tools/format_check.sh.
@@ -50,6 +57,8 @@ INCREMENT = re.compile(r"\+\+|--")
 ASSIGNMENT = re.compile(r"(?<![=!<>])=(?!=)")
 
 SLEEP_SYNC = re.compile(r"\bsleep_for\s*\(")
+
+RAW_RANDOM = re.compile(r"\b(?:std::)?(?:s?rand)\s*\(|\bstd::random_device\b")
 
 
 def strip_comments(text: str) -> str:
@@ -134,6 +143,15 @@ def lint_file(path: pathlib.Path, findings: list[str]) -> None:
                 f"{rel}:{line_of(text, m.start())}: [sleep-sync] "
                 f"sleep_for in a test — poll with a deadline helper "
                 f"(e.g. AwaitPositions) or wait on a CondVar instead"
+            )
+
+    if rel.parts and rel.parts[0] in ("tests", "bench"):
+        for m in RAW_RANDOM.finditer(text):
+            findings.append(
+                f"{rel}:{line_of(text, m.start())}: [raw-random] "
+                f"{m.group(0).rstrip('(').strip()} in {rel.parts[0]}/ — "
+                f"use siot::Rng seeded via MixSeed/DeriveStream so the "
+                f"run is a pure function of the seed"
             )
 
 

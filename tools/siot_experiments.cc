@@ -14,6 +14,7 @@
 //   siot_experiments experiment=persist shards=4 rounds=3 fsync=1
 //   siot_experiments experiment=replicate shards=4 rounds=3
 //   siot_experiments experiment=transit_serve shards=4 rounds=3 tasks=3
+//   siot_experiments experiment=attack attack=onoff fractions=0.1,0.3
 //   siot_experiments config=/path/to/file.cfg
 //
 // Prints the experiment's headline metrics as an aligned table and exits
@@ -37,6 +38,7 @@
 #include "graph/graph.h"
 #include "service/replication.h"
 #include "service/trust_service.h"
+#include "sim/adversary.h"
 #include "sim/delegation_results_experiment.h"
 #include "sim/environment_experiment.h"
 #include "sim/mutuality_experiment.h"
@@ -937,6 +939,169 @@ Status RunTransitServe(const Config& config) {
   return Status::OK();
 }
 
+// Attack mode: each configured adversary fraction runs the selected
+// attack twice — once against an in-memory TrustService with a 1-thread
+// runner (the reference), once against a DURABLE TrustService
+// (WAL + checkpoints + optional group commit, exercised under the
+// adversarial write pattern) with the configured thread count. The two
+// runs must produce bit-identical resilience tables and serialized
+// shard states; the per-round resilience table and a cross-fraction
+// summary are printed.
+Status RunAttack(const Config& config) {
+  const std::int64_t raw_agents = config.GetIntOr("agents", 64);
+  const std::int64_t raw_rounds = config.GetIntOr("rounds", 20);
+  const std::int64_t raw_shards = config.GetIntOr("shards", 8);
+  const std::int64_t raw_candidates = config.GetIntOr("candidates", 8);
+  if (raw_agents < 8 || raw_agents > 100000) {
+    return Status::InvalidArgument("agents out of range [8, 100000]");
+  }
+  if (raw_rounds < 1 || raw_rounds > 10000) {
+    return Status::InvalidArgument("rounds out of range [1, 10000]");
+  }
+  if (raw_shards < 1 || raw_shards > 4096) {
+    return Status::InvalidArgument("shards out of range [1, 4096]");
+  }
+  if (raw_candidates < 1 || raw_candidates > 256) {
+    return Status::InvalidArgument("candidates out of range [1, 256]");
+  }
+  SIOT_ASSIGN_OR_RETURN(const std::size_t threads, ParseThreads(config));
+  const std::string attack_name =
+      ToLower(config.GetStringOr("attack", "onoff"));
+  const std::optional<sim::AttackType> attack =
+      sim::ParseAttackType(attack_name);
+  if (!attack.has_value()) {
+    return Status::InvalidArgument(
+        "unknown attack '" + attack_name +
+        "' (none|onoff|badmouth|whitewash|collusion)");
+  }
+  std::vector<double> fractions;
+  for (const std::string& token :
+       Split(config.GetStringOr("fractions", "0.1,0.3"), ',')) {
+    SIOT_ASSIGN_OR_RETURN(const double fraction, ParseDouble(token));
+    if (fraction < 0.0 || fraction > 1.0) {
+      return Status::InvalidArgument("fractions entries must be in [0, 1]");
+    }
+    fractions.push_back(fraction);
+  }
+  if (fractions.empty() || fractions.size() > 16) {
+    return Status::InvalidArgument("fractions needs 1-16 entries");
+  }
+  const auto seed = static_cast<std::uint64_t>(config.GetIntOr("seed", 2026));
+
+  const bool user_dir = config.Has("dir");
+  const std::string dir = config.GetStringOr(
+      "dir", (std::filesystem::temp_directory_path() /
+              ("siot_attack_" + std::to_string(seed)))
+                 .string());
+  if (user_dir && std::filesystem::exists(dir) &&
+      !std::filesystem::is_empty(dir)) {
+    if (!config.GetBoolOr("wipe", false)) {
+      return Status::InvalidArgument(
+          "dir=" + dir +
+          " already exists and is not empty; pass wipe=1 to let the "
+          "attack experiment DELETE it and start fresh");
+    }
+    std::filesystem::remove_all(dir);
+  }
+  if (!user_dir) std::filesystem::remove_all(dir);
+
+  sim::AttackSimConfig acfg;
+  acfg.agents = static_cast<std::size_t>(raw_agents);
+  acfg.rounds = static_cast<std::size_t>(raw_rounds);
+  acfg.shard_count = static_cast<std::size_t>(raw_shards);
+  acfg.candidates_per_trustor = static_cast<std::size_t>(raw_candidates);
+  acfg.theta = config.GetDoubleOr("theta", 0.5);
+  acfg.detect_percentile = config.GetDoubleOr("detect_percentile", 0.25);
+  acfg.seed = seed;
+  acfg.attack.type = *attack;
+
+  TextTable summary(StrFormat(
+      "Attack summary: %s (%zu agents, %zu rounds, %zu shards, "
+      "%zu threads durable vs 1-thread in-memory)",
+      sim::AttackTypeName(*attack), acfg.agents, acfg.rounds,
+      acfg.shard_count, threads == 0 ? 0 : threads));
+  summary.SetHeader({"fraction", "misdeleg", "unavail", "abuse", "honest tw",
+                     "attacker tw", "detect round", "ww", "recovery",
+                     "durable identical"});
+  bool all_identical = true;
+  for (std::size_t index = 0; index < fractions.size(); ++index) {
+    acfg.attack.adversary_fraction = fractions[index];
+    const service::TrustServiceConfig sc = sim::AttackServiceConfig(acfg);
+
+    sim::AttackSimConfig reference_config = acfg;
+    reference_config.threads = 1;
+    sim::AttackSimResult reference;
+    {
+      service::TrustService memory(sc);
+      SIOT_ASSIGN_OR_RETURN(reference,
+                            sim::RunAttackSimulation(memory, reference_config));
+    }
+
+    sim::AttackSimConfig durable_config = acfg;
+    durable_config.threads = threads;
+    const std::string fraction_dir = dir + "/f" + std::to_string(index);
+    std::filesystem::remove_all(fraction_dir);
+    service::PersistenceOptions options;
+    options.directory = fraction_dir;
+    options.sync_every_append = config.GetBoolOr("fsync", false);
+    options.checkpoint_every_appends =
+        static_cast<std::size_t>(config.GetIntOr("checkpoint_every", 64));
+    sim::AttackSimResult durable;
+    {
+      SIOT_ASSIGN_OR_RETURN(auto service,
+                            service::TrustService::Open(sc, options));
+      SIOT_ASSIGN_OR_RETURN(durable,
+                            sim::RunAttackSimulation(*service, durable_config));
+    }
+    const bool identical = durable == reference;
+    all_identical = all_identical && identical;
+
+    TextTable table(StrFormat(
+        "Adversarial resilience: %s, adversary fraction %s (durable path)",
+        sim::AttackTypeName(*attack),
+        FormatDouble(fractions[index], 2).c_str()));
+    table.SetHeader({"round", "misdeleg", "unavail", "abuse", "honest tw",
+                     "attacker tw", "detected", "ww"});
+    for (const sim::ResilienceRoundMetrics& row : durable.rounds) {
+      table.AddRow({StrFormat("%zu", row.round),
+                    FormatDouble(row.misdelegation_rate, 3),
+                    FormatDouble(row.unavailable_rate, 3),
+                    FormatDouble(row.abuse_rate, 3),
+                    FormatDouble(row.honest_mean_trust, 3),
+                    FormatDouble(row.attacker_mean_trust, 3),
+                    row.attacker_detected ? "yes" : "no",
+                    StrFormat("%zu", row.whitewashes)});
+    }
+    std::fputs(table.Render().c_str(), stdout);
+
+    summary.AddRow(
+        {FormatDouble(fractions[index], 2),
+         FormatDouble(durable.misdelegation_rate, 3),
+         FormatDouble(durable.unavailable_rate, 3),
+         FormatDouble(durable.abuse_rate, 3),
+         FormatDouble(durable.final_honest_trust, 3),
+         FormatDouble(durable.final_attacker_trust, 3),
+         durable.time_to_detect.has_value()
+             ? StrFormat("%zu", *durable.time_to_detect)
+             : "-",
+         StrFormat("%zu", durable.whitewashes),
+         durable.whitewash_recovery.has_value()
+             ? FormatDouble(*durable.whitewash_recovery, 1)
+             : "-",
+         identical ? "yes" : "NO — BUG"});
+  }
+  std::fputs(summary.Render().c_str(), stdout);
+  if (!config.Has("dir")) std::filesystem::remove_all(dir);
+  // Divergence must fail the process (and the smoke_attack CTest), not
+  // just print a sad table cell.
+  if (!all_identical) {
+    return Status::Internal(
+        "durable attack run diverged from the in-memory 1-thread "
+        "reference");
+  }
+  return Status::OK();
+}
+
 Status Run(int argc, char** argv) {
   // Accept both bare key=value tokens and GNU-style --key=value flags
   // (e.g. --threads=4): leading dashes are stripped before parsing.
@@ -974,10 +1139,11 @@ Status Run(int argc, char** argv) {
   if (experiment == "persist") return RunPersist(config);
   if (experiment == "replicate") return RunReplicate(config);
   if (experiment == "transit_serve") return RunTransitServe(config);
+  if (experiment == "attack") return RunAttack(config);
   return Status::InvalidArgument(
       "usage: siot_experiments experiment=<mutuality|transitivity|"
-      "delegation|environment|serve|persist|replicate|transit_serve> "
-      "[network=...] [seed=...] [--threads=N] [key=value...] "
+      "delegation|environment|serve|persist|replicate|transit_serve|"
+      "attack> [network=...] [seed=...] [--threads=N] [key=value...] "
       "[config=<file>]");
 }
 
