@@ -220,6 +220,63 @@ BENCHMARK(BM_ReplicaCatchUpCodec)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/// Follower cold start over a CHECKPOINTED leader: restore the shard
+/// checkpoint — text v1 vs binary v2 of the same state — then replay
+/// the binary WAL tail behind it. The records quick-clamp from 100k;
+/// the tail stays a fixed 2k records so both series replay identical
+/// tails and the delta is purely the checkpoint decode. Arg 0 = binary.
+void BM_ReplicaCheckpointCatchUpCodec(benchmark::State& state) {
+  const bool binary = state.range(0) != 0;
+  const std::size_t records = siot::bench::QuickClamp(100000, 2000);
+  const std::size_t tail = siot::bench::QuickClamp(2048, 256);
+  const std::string dir = BenchDir("replica_ckpt_codec");
+  const TrustServiceConfig config = MakeConfig(1);
+  {
+    PersistenceOptions options;
+    options.directory = dir;
+    options.checkpoint_format =
+        binary ? siot::service::kCheckpointFormatBinary
+               : siot::service::kCheckpointFormatText;
+    auto leader = std::move(TrustService::Open(config, options)).value();
+    SIOT_CHECK(leader->RegisterTask("sense", {0}).ok());
+    for (std::size_t base = 0; base < records; base += 1024) {
+      SIOT_CHECK(
+          leader
+              ->BatchReportOutcome(MakeBatch(
+                  base, std::min<std::size_t>(1024, records - base)))
+              .ok());
+    }
+    SIOT_CHECK(leader->Checkpoint().ok());
+    for (std::size_t base = records; base < records + tail; base += 1024) {
+      SIOT_CHECK(leader
+                     ->BatchReportOutcome(MakeBatch(
+                         base, std::min<std::size_t>(1024,
+                                                     records + tail - base)))
+                     .ok());
+    }
+  }
+  ReplicaOptions replica_options;
+  replica_options.directory = dir;
+  for (auto _ : state) {
+    auto replica =
+        std::move(ReplicaService::Open(config, replica_options)).value();
+    // Validate in-loop: a catch-up that silently drops records would
+    // otherwise make the fast path look even faster.
+    SIOT_CHECK(CaughtUpRecordCount(*replica, records + tail) ==
+               records + tail);
+    benchmark::DoNotOptimize(*replica);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records + tail));
+  state.SetLabel(std::string(binary ? "binary-v2" : "text-v1") +
+                 (siot::bench::QuickMode() ? " (quick-clamped)" : ""));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ReplicaCheckpointCatchUpCodec)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 /// Steady-state pipeline: leader appends a 64-record batch, follower
 /// polls it in. Items = records flowing leader→follower per second.
 void BM_ReplicaPipeline64(benchmark::State& state) {

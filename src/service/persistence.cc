@@ -7,6 +7,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -18,7 +19,6 @@
 #include "common/file_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
-#include "trust/trust_store_io.h"
 
 namespace siot::service {
 
@@ -26,7 +26,6 @@ namespace {
 
 constexpr std::size_t kFrameHeaderBytes = 16;  // u32 len, u32 crc, u64 seq
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;
-constexpr char kCheckpointMagic[] = "siot-checkpoint";
 
 void PutU32(std::string* out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -484,73 +483,6 @@ ShardPersistence::ShardPersistence(const PersistenceOptions* options,
       wal_path_(ShardWalPath(options->directory, shard)),
       checkpoint_path_(ShardCheckpointPath(options->directory, shard)) {}
 
-namespace {
-
-/// Parses a checkpoint file into (applied_seq, engine-state body).
-Status ParseCheckpoint(const std::string& path, const std::string& bytes,
-                       std::uint64_t* applied_seq, std::string_view* body) {
-  const std::size_t newline = bytes.find('\n');
-  if (newline == std::string::npos) {
-    return Status::Corruption("checkpoint " + path + ": missing header");
-  }
-  const std::vector<std::string> header =
-      Split(bytes.substr(0, newline), ' ');
-  if (header.size() != 4 || header[0] != kCheckpointMagic ||
-      header[1] != "1") {
-    return Status::Corruption("checkpoint " + path + ": bad header '" +
-                              bytes.substr(0, newline) + "'");
-  }
-  const auto body_bytes = ParseInt(header[2]);
-  const auto stored_crc = ParseInt(header[3]);
-  if (!body_bytes.ok() || body_bytes.value() < 0 || !stored_crc.ok() ||
-      stored_crc.value() < 0 ||
-      stored_crc.value() > 0xFFFFFFFFll) {
-    return Status::Corruption("checkpoint " + path +
-                              ": malformed header fields");
-  }
-  *body = std::string_view(bytes).substr(newline + 1);
-  if (body->size() != static_cast<std::size_t>(body_bytes.value())) {
-    return Status::Corruption(StrFormat(
-        "checkpoint %s: body is %zu bytes, header says %lld (truncated?)",
-        path.c_str(), body->size(),
-        static_cast<long long>(body_bytes.value())));
-  }
-  if (Crc32cMask(Crc32c(*body)) !=
-      static_cast<std::uint32_t>(stored_crc.value())) {
-    return Status::Corruption("checkpoint " + path +
-                              ": CRC mismatch (bit rot?)");
-  }
-  // The body's first line carries the last WAL sequence folded in.
-  const std::size_t body_newline = body->find('\n');
-  const std::vector<std::string> seq_fields = Split(
-      body->substr(0, body_newline == std::string_view::npos
-                          ? body->size()
-                          : body_newline),
-      ' ');
-  const auto seq = seq_fields.size() == 2 && seq_fields[0] == "applied_seq"
-                       ? ParseInt(seq_fields[1])
-                       : StatusOr<std::int64_t>(
-                             Status::Corruption("missing applied_seq"));
-  if (!seq.ok() || seq.value() < 0) {
-    return Status::Corruption("checkpoint " + path +
-                              ": missing applied_seq line");
-  }
-  *applied_seq = static_cast<std::uint64_t>(seq.value());
-  *body = body->substr(body_newline + 1);
-  return Status::OK();
-}
-
-}  // namespace
-
-Status ReadCheckpointFile(const std::string& path,
-                          std::uint64_t* applied_seq, std::string* state) {
-  SIOT_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
-  std::string_view body;
-  SIOT_RETURN_IF_ERROR(ParseCheckpoint(path, bytes, applied_seq, &body));
-  if (state != nullptr) *state = std::string(body);
-  return Status::OK();
-}
-
 Status ShardPersistence::Recover(trust::TrustEngine* engine) {
   // A .tmp checkpoint is a crash artifact of an unfinished Checkpoint();
   // the durable .ckpt (if any) is authoritative.
@@ -559,10 +491,10 @@ Status ShardPersistence::Recover(trust::TrustEngine* engine) {
   if (FileExists(checkpoint_path_)) {
     SIOT_ASSIGN_OR_RETURN(const std::string bytes,
                           ReadFileToString(checkpoint_path_));
-    std::string_view body;
-    SIOT_RETURN_IF_ERROR(
-        ParseCheckpoint(checkpoint_path_, bytes, &applied_seq, &body));
-    SIOT_RETURN_IF_ERROR(trust::DeserializeTrustEngineState(body, engine));
+    // The codec dispatches on the file's own format byte, so a directory
+    // checkpointed before the binary format restores with no migration.
+    SIOT_RETURN_IF_ERROR(DecodeCheckpoint(bytes, checkpoint_path_,
+                                          &applied_seq, engine));
   }
   SIOT_ASSIGN_OR_RETURN(const WalContents wal, ReadWal(wal_path_));
   if (wal.dropped_tail) {
@@ -649,27 +581,45 @@ Status ShardPersistence::LogImpl(const std::vector<std::string>& payloads,
 }
 
 Status ShardPersistence::Checkpoint(const trust::TrustEngine& engine) {
-  const std::string body =
-      StrFormat("applied_seq %llu\n",
-                static_cast<unsigned long long>(next_seq_ - 1)) +
-      trust::SerializeTrustEngineState(engine);
+  const std::uint64_t applied_seq = next_seq_ - 1;
+  std::vector<std::size_t> section_ends;
   const std::string content =
-      StrFormat("%s 1 %zu %u\n", kCheckpointMagic, body.size(),
-                Crc32cMask(Crc32c(body))) +
-      body;
+      options_->checkpoint_format == kCheckpointFormatText
+          ? EncodeCheckpointText(applied_seq, engine)
+          : EncodeCheckpointBinary(applied_seq, engine, &section_ends);
   const std::string tmp = checkpoint_path_ + ".tmp";
   const FaultHook& hook = options_->fault_hook;
 
+  // Kill-points of the tmp write, in byte order: kCheckpointMidWrite
+  // stands at the half-way cut (a torn file that ends mid-section), and
+  // kCheckpointMidSection stands at the end of every binary section (a
+  // torn file that ends EXACTLY on a section boundary — lengths and CRCs
+  // valid as far as they go, the next section simply absent).
+  std::vector<std::pair<std::size_t, PersistStage>> cuts;
+  cuts.emplace_back(content.size() / 2, PersistStage::kCheckpointMidWrite);
+  for (const std::size_t end : section_ends) {
+    cuts.emplace_back(end, PersistStage::kCheckpointMidSection);
+  }
+  std::stable_sort(cuts.begin(), cuts.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IoError(ErrnoMessage("cannot open", tmp));
-  const std::size_t half = content.size() / 2;
-  Status status = WriteFully(fd, content.data(), half, tmp);
-  if (status.ok()) {
-    status = Fire(hook, PersistStage::kCheckpointMidWrite, shard_);
+  Status status;
+  std::size_t written = 0;
+  for (const auto& [cut, stage] : cuts) {
+    if (status.ok() && cut > written) {
+      status = WriteFully(fd, content.data() + written, cut - written,
+                          tmp);
+      written = cut;
+    }
+    if (status.ok()) status = Fire(hook, stage, shard_);
   }
-  if (status.ok()) {
-    status = WriteFully(fd, content.data() + half, content.size() - half,
-                        tmp);
+  if (status.ok() && content.size() > written) {
+    status = WriteFully(fd, content.data() + written,
+                        content.size() - written, tmp);
   }
   if (status.ok() && ::fsync(fd) != 0) {
     status = Status::IoError(ErrnoMessage("fsync failed", tmp));

@@ -16,9 +16,11 @@
 //                    log record is durably appended AND applied; with
 //                    cross-shard group commit the flush may be deferred
 //                    past the apply, but never past the acknowledgment.
-//   shard-<i>.ckpt   checkpoint: the full engine state
-//                    (SerializeTrustEngineState) plus the sequence number
-//                    of the last op folded in. Written atomically
+//   shard-<i>.ckpt   checkpoint: the full engine state plus the sequence
+//                    number of the last op folded in, encoded by the
+//                    versioned checkpoint codec (binary v2 sections by
+//                    default; v1 text restores forever — see
+//                    service/checkpoint_codec.h). Written atomically
 //                    (tmp + fsync + rename + dir fsync), then the WAL is
 //                    truncated. Ops are idempotently skipped at recovery
 //                    when their seq is <= the checkpoint's.
@@ -62,6 +64,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "service/checkpoint_codec.h"
 #include "service/wal_codec.h"
 #include "trust/trust_engine.h"
 
@@ -76,6 +79,11 @@ enum class PersistStage {
   kWalAfterAppend,           ///< Frame durable; op NOT yet applied.
   kGroupCommitFlush,         ///< Group-commit leader about to flush a round.
   kCheckpointMidWrite,       ///< Half the checkpoint tmp file written.
+  kCheckpointMidSection,     ///< A binary checkpoint section fully written
+                             ///< to the tmp file (fires once per section —
+                             ///< the tmp ends exactly on a section
+                             ///< boundary). Never fires for text
+                             ///< checkpoints.
   kCheckpointBeforeRename,   ///< Tmp complete + synced; not yet renamed.
   kCheckpointBeforeTruncate, ///< Renamed; WAL not yet truncated.
 };
@@ -107,6 +115,12 @@ struct PersistenceOptions {
   /// SIOT_GROUP_COMMIT_WINDOW_US environment variable when this field is
   /// zero, so a whole test suite can be flipped into group-commit mode.
   std::chrono::microseconds group_commit_window{0};
+  /// Format new checkpoints are WRITTEN in (kCheckpointFormatBinary by
+  /// default; kCheckpointFormatText reproduces the pre-binary layout —
+  /// the compat fixtures and restore benches write it deliberately).
+  /// Reading always dispatches on the file's own format byte, so this
+  /// never affects what a directory can recover from.
+  std::uint8_t checkpoint_format = kCheckpointFormatBinary;
   /// Test-only kill-point hook; see FaultHook.
   FaultHook fault_hook;
 };
@@ -414,15 +428,6 @@ class ShardPersistence {
   std::uint64_t wal_bytes_ = 0;
   std::uint64_t inline_fsyncs_ = 0;
 };
-
-/// Parses a checkpoint file (magic/CRC-validated) into the sequence
-/// number of the last WAL op folded in and the engine-state body.
-/// Shared by leader recovery and follower rewind handling; Corruption on
-/// any mismatch. Reads the file named by `path` — callers see either the
-/// old or the new checkpoint across a concurrent atomic replace, never a
-/// mix.
-Status ReadCheckpointFile(const std::string& path,
-                          std::uint64_t* applied_seq, std::string* state);
 
 /// Paths of a shard's files under `directory`.
 std::string ShardWalPath(const std::string& directory, std::size_t shard);

@@ -14,7 +14,7 @@
 #include "common/file_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
-#include "trust/trust_store_io.h"
+#include "service/checkpoint_codec.h"
 
 namespace siot::service {
 
@@ -170,10 +170,17 @@ Status ReplicaService::RewindLocked(ReplicaShard& shard, bool require_newer,
   // identity, which only means one harmless re-rewind later.
   struct ::stat st;
   const bool have_stat = ::stat(shard.checkpoint_path.c_str(), &st) == 0;
-  std::uint64_t seq = 0;
-  std::string state;
-  SIOT_RETURN_IF_ERROR(
-      ReadCheckpointFile(shard.checkpoint_path, &seq, &state));
+  // Validate-only first: most checkpoint replacements land at the seq
+  // this follower already applied through the WAL, so the (possibly
+  // large) engine restore below is usually skipped — the codec walk here
+  // just proves the checksums and yields the seq. Readers see either the
+  // old or the new checkpoint across the leader's atomic replace, never
+  // a mix.
+  SIOT_ASSIGN_OR_RETURN(const std::string bytes,
+                        ReadFileToString(shard.checkpoint_path));
+  SIOT_ASSIGN_OR_RETURN(const CheckpointInfo info,
+                        ValidateCheckpoint(bytes, shard.checkpoint_path));
+  const std::uint64_t seq = info.applied_seq;
   if (require_newer && shard.checkpoint_loaded &&
       seq <= shard.checkpoint_seq) {
     return Status::Corruption(StrFormat(
@@ -194,8 +201,9 @@ Status ReplicaService::RewindLocked(ReplicaShard& shard, bool require_newer,
     // The checkpoint is ahead of us: everything we applied (and more) is
     // folded in. Jump the engine forward wholesale.
     auto fresh = std::make_unique<trust::TrustEngine>(config_.engine);
-    SIOT_RETURN_IF_ERROR(
-        trust::DeserializeTrustEngineState(state, fresh.get()));
+    std::uint64_t decoded_seq = 0;
+    SIOT_RETURN_IF_ERROR(DecodeCheckpoint(bytes, shard.checkpoint_path,
+                                          &decoded_seq, fresh.get()));
     shard.engine = std::move(fresh);
     shard.applied_seq = seq;
   }

@@ -324,11 +324,19 @@ TEST_P(CheckpointKillPointTest, CheckpointCrashNeverLosesState) {
   const TrustServiceConfig config = MakeConfig(kShards);
   const std::vector<ScriptOp> ops = BuildScript();
 
-  // Crash the explicit end-of-script checkpoint at every shard.
-  for (std::size_t crash_shard = 0; crash_shard < kShards; ++crash_shard) {
+  // Crash the explicit end-of-script checkpoint at every firing: once
+  // per shard for the classic stages, once per shard per binary section
+  // for kCheckpointMidSection (the tmp file then ends exactly on a
+  // section boundary — a complete header + a prefix of sections).
+  const std::size_t firings_per_shard =
+      stage == PersistStage::kCheckpointMidSection
+          ? kCheckpointSectionCount
+          : 1;
+  for (std::size_t crash = 0; crash < kShards * firings_per_shard;
+       ++crash) {
     const std::string dir = MakeTestDir(
         "ckptkill_" + std::to_string(static_cast<int>(stage)) + "_" +
-        std::to_string(crash_shard));
+        std::to_string(crash));
     auto plan = std::make_shared<FaultPlan>();
     plan->stage = stage;
     PersistenceOptions options;
@@ -341,8 +349,8 @@ TEST_P(CheckpointKillPointTest, CheckpointCrashNeverLosesState) {
     for (const ScriptOp& op : ops) {
       ASSERT_TRUE(ApplyScriptOp(service.get(), op).ok());
     }
-    // Arm now: fail the crash_shard-th checkpoint-stage firing.
-    plan->fail_at = plan->seen + static_cast<int>(crash_shard);
+    // Arm now: fail the crash-th checkpoint-stage firing.
+    plan->fail_at = plan->seen + static_cast<int>(crash);
     plan->armed = true;
     EXPECT_FALSE(service->Checkpoint().ok());
     service.reset();
@@ -357,7 +365,7 @@ TEST_P(CheckpointKillPointTest, CheckpointCrashNeverLosesState) {
         ExpectedStates(config, ops, ops.size(), false);
     EXPECT_EQ(ShardStates(*reopened.value()), expected)
         << "checkpoint crash at stage " << static_cast<int>(stage)
-        << " shard " << crash_shard;
+        << " firing " << crash;
 
     // And the next incarnation checkpoints + serves cleanly.
     EXPECT_TRUE(reopened.value()->Checkpoint().ok());
@@ -374,6 +382,7 @@ TEST_P(CheckpointKillPointTest, CheckpointCrashNeverLosesState) {
 INSTANTIATE_TEST_SUITE_P(AllCheckpointStages, CheckpointKillPointTest,
                          ::testing::Values(
                              PersistStage::kCheckpointMidWrite,
+                             PersistStage::kCheckpointMidSection,
                              PersistStage::kCheckpointBeforeRename,
                              PersistStage::kCheckpointBeforeTruncate));
 
@@ -768,6 +777,49 @@ TEST(PersistenceCorruptionTest, TruncationAtEveryByteRecoversAPrefix) {
     }
     EXPECT_EQ(ShardStates(*reopened.value()), prefix_states[survivors])
         << "cut at byte " << cut;
+  }
+  std::filesystem::remove_all(work);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceCorruptionTest,
+     CheckpointTruncationAtEveryByteIsCorruption) {
+  // The service-level half of the binary-checkpoint torn-write sweep:
+  // after the atomic rename only complete files exist, so recovery
+  // treats ANY shorter checkpoint as Corruption — it never crashes and
+  // never restores a partial engine.
+  const TrustServiceConfig config = MakeConfig(1);
+  const std::vector<ScriptOp> ops = SmallScript();
+  const std::string dir = MakeTestDir("ckpt_truncate_master");
+  PersistenceOptions options;
+  options.directory = dir;
+  {
+    auto service = std::move(TrustService::Open(config, options)).value();
+    for (const ScriptOp& op : ops) {
+      ASSERT_TRUE(ApplyScriptOp(service.get(), op).ok());
+    }
+    ASSERT_TRUE(service->Checkpoint().ok());
+  }
+  const std::string ckpt_bytes =
+      ReadFileToString(ShardCheckpointPath(dir, 0)).value();
+  ASSERT_EQ(CheckpointFormat(ckpt_bytes), kCheckpointFormatBinary);
+
+  const std::string work = MakeTestDir("ckpt_truncate_work");
+  for (std::size_t cut = 0; cut < ckpt_bytes.size(); ++cut) {
+    std::filesystem::remove_all(work);
+    std::filesystem::copy(dir, work,
+                          std::filesystem::copy_options::recursive);
+    {
+      std::ofstream f(ShardCheckpointPath(work, 0),
+                      std::ios::binary | std::ios::trunc);
+      f.write(ckpt_bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    PersistenceOptions cut_options;
+    cut_options.directory = work;
+    const auto reopened = TrustService::Open(config, cut_options);
+    ASSERT_FALSE(reopened.ok()) << "cut at byte " << cut;
+    EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption)
+        << "cut at byte " << cut << ": " << reopened.status().ToString();
   }
   std::filesystem::remove_all(work);
   std::filesystem::remove_all(dir);

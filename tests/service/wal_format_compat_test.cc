@@ -117,6 +117,8 @@ void BuildV1Directory(const TrustServiceConfig& config,
                       int checkpoint_after) {
   PersistenceOptions options;
   options.directory = dir;
+  // Pre-binary deployments only knew the text checkpoint encoding.
+  options.checkpoint_format = kCheckpointFormatText;
   ASSERT_TRUE(std::filesystem::create_directories(dir));
   ASSERT_TRUE(WriteFileAtomic(ManifestPath(dir),
                               BuildServiceManifest(config.shard_count,

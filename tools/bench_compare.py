@@ -11,9 +11,11 @@ Compares every benchmark present in BOTH files by name (including the
 arg/thread suffixes, e.g. "BM_DurableAppendScaling/1/real_time/threads:8").
 For rate metrics (items_per_second) a candidate SLOWER by more than the
 tolerance is a regression; for time metrics a candidate whose time GREW
-past the tolerance is. Benchmarks present in only one file are reported
-but never fail the run — series come and go across PRs, and a rename must
-not wedge CI.
+past the tolerance is. A benchmark present in the baseline but MISSING
+from the candidate fails the run: a silently dropped series is how a
+perf gate rots (delete or rename the baseline entry to retire a series
+deliberately). Benchmarks only in the candidate are new and merely
+reported.
 
 Exit status: 0 = no regression, 1 = at least one regression, 2 = bad
 invocation or unparseable artifact (an unreadable artifact is worse than
@@ -125,14 +127,21 @@ def main():
     )
     for line in improvements:
         print(f"  improved:  {line}")
-    for name in only_base:
-        print(f"  only in baseline:  {name}")
     for name in only_cand:
         print(f"  only in candidate: {name}")
+    if only_base:
+        # A series that stopped being produced is indistinguishable from
+        # a series that regressed into a crash — fail loudly instead of
+        # letting the gate shrink one rename at a time.
+        print(f"MISSING FROM CANDIDATE ({len(only_base)}):")
+        for name in only_base:
+            print(f"  {name}")
     if regressions:
         print(f"REGRESSED ({len(regressions)}):")
         for line in regressions:
             print(f"  {line}")
+        return 1
+    if only_base:
         return 1
     if compared == 0:
         print("error: no benchmark appears in both files", file=sys.stderr)

@@ -19,10 +19,16 @@ run_bench() {
   bench="$1"
   json="$2"
   echo "== ${bench} -> ${json} =="
-  SIOT_BENCH_QUICK=1 "${build}/bench/${bench}" \
+  # The if-guard matters under `set -e`: a raw invocation would kill the
+  # whole script on a crashed bench with nothing but the harness's own
+  # output to say WHICH binary died.
+  if ! SIOT_BENCH_QUICK=1 "${build}/bench/${bench}" \
     --benchmark_min_time=0.05 \
     --benchmark_out="${out}/${json}" \
-    --benchmark_out_format=json
+    --benchmark_out_format=json; then
+    echo "FAIL: ${bench} exited non-zero" >&2
+    exit 1
+  fi
   # Parse, don't grep: a bench that crashed mid-run leaves a truncated
   # file that still contains the '"benchmarks"' substring.
   if ! python3 -c "
@@ -30,7 +36,7 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 sys.exit(0 if doc.get('benchmarks') else 1)
 " "${out}/${json}"; then
-    echo "FAIL: ${out}/${json} is not valid JSON with benchmarks" >&2
+    echo "FAIL: ${bench} wrote ${out}/${json} without valid benchmark JSON" >&2
     exit 1
   fi
 }
